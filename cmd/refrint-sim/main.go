@@ -1,0 +1,67 @@
+// Command refrint-sim runs a single (application, policy, retention)
+// simulation and prints its statistics and energy breakdown.
+//
+// Examples:
+//
+//	refrint-sim -app FFT -policy SRAM
+//	refrint-sim -app FFT -policy R.WB(32,32) -retention 50
+//	refrint-sim -app Radix -policy P.all -retention 100 -preset fullsize
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"refrint"
+)
+
+func main() {
+	var (
+		app       = flag.String("app", "FFT", "application name (Table 5.3), or 'list' to list them")
+		policy    = flag.String("policy", "R.WB(32,32)", "refresh policy label, e.g. SRAM, P.all, R.valid, R.WB(32,32)")
+		retention = flag.Float64("retention", 50, "eDRAM retention time in microseconds (ignored for SRAM)")
+		preset    = flag.String("preset", "scaled", "architecture preset: scaled or fullsize")
+		effort    = flag.Float64("effort", 1.0, "workload length multiplier")
+		seed      = flag.Int64("seed", 1, "workload random seed")
+		verbose   = flag.Bool("v", false, "print raw counters as well")
+	)
+	flag.Parse()
+
+	if *app == "list" {
+		for _, name := range refrint.Applications() {
+			fmt.Println(name)
+		}
+		return
+	}
+
+	res, err := refrint.Simulate(refrint.SimRequest{
+		App:         *app,
+		Policy:      *policy,
+		RetentionUS: *retention,
+		Preset:      *preset,
+		EffortScale: *effort,
+		Seed:        *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "refrint-sim:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("app=%s policy=%s retention=%gus preset=%s\n", res.App, res.Policy, res.RetentionUS, *preset)
+	fmt.Printf("cycles=%d  instructions=%d  memops=%d\n", res.Cycles, res.Stats.Instructions, res.Stats.MemOps)
+	e := res.Energy
+	fmt.Printf("memory energy  : %.4g J (L1 %.3g | L2 %.3g | L3 %.3g | DRAM %.3g)\n",
+		e.MemoryHierarchy(), e.IL1+e.DL1, e.L2, e.L3, e.DRAM)
+	fmt.Printf("  components   : dynamic %.3g | leakage %.3g | refresh %.3g | DRAM %.3g\n",
+		e.Dynamic, e.Leakage, e.Refresh, e.DRAM)
+	fmt.Printf("total energy   : %.4g J (core %.3g | noc %.3g)\n", e.Total(), e.Core, e.NoC)
+	fmt.Printf("refreshes      : %d on-chip (sentry interrupts %d, periodic sweeps %d)\n",
+		res.Stats.TotalOnChipRefreshes(), res.Stats.SentryInterrupts, res.Stats.PeriodicGroupScans)
+	fmt.Printf("policy actions : refresh %d | writeback %d | invalidate %d\n",
+		res.Stats.PolicyRefreshes, res.Stats.PolicyWritebacks, res.Stats.PolicyInvalidates)
+	if *verbose {
+		fmt.Println()
+		fmt.Print(res.Stats.String())
+	}
+}

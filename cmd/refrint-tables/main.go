@@ -1,0 +1,42 @@
+// Command refrint-tables prints the configuration tables of the paper
+// (Tables 3.1 and 5.1-5.4) as realised by this implementation, plus the
+// application classification of Figure 3.1 computed from the workload
+// parameters.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"refrint"
+	"refrint/internal/report"
+	"refrint/internal/workload"
+)
+
+func main() {
+	preset := flag.String("preset", "fullsize", "architecture preset to describe: scaled or fullsize")
+	flag.Parse()
+
+	cfg, err := refrint.Preset(*preset)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+
+	fmt.Println(report.Table31())
+	fmt.Println(report.Table51(cfg))
+	fmt.Println(report.Table52())
+	fmt.Println(report.Table53())
+	fmt.Println(report.Table54())
+
+	fmt.Println("Figure 3.1: application classification (from workload parameters)")
+	fmt.Println("  App             Class     Footprint/LLC  Visibility")
+	for _, name := range workload.AppNames() {
+		p, err := workload.Get(name)
+		if err != nil {
+			continue
+		}
+		fmt.Printf("  %-15s %-9s %12.2f  %9.2f\n",
+			name, p.Classify(cfg), p.FootprintRatio(cfg), p.Visibility(cfg))
+	}
+}

@@ -1,0 +1,64 @@
+// Policy sweep: evaluate all fourteen refresh policies of Table 5.4 on a
+// single application at one retention time, and print a ranking by memory
+// energy — a one-application slice of Figures 6.1 and 6.4.
+//
+// Run with:
+//
+//	go run ./examples/policysweep [-app Radix] [-retention 50]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+
+	"refrint"
+)
+
+func main() {
+	app := flag.String("app", "Radix", "application to sweep")
+	retention := flag.Float64("retention", refrint.Retention50us, "retention time in microseconds")
+	flag.Parse()
+
+	baseline, err := refrint.Simulate(refrint.SimRequest{
+		App: *app, Policy: "SRAM", EffortScale: 0.25,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	type row struct {
+		policy    string
+		memRatio  float64
+		timeRatio float64
+		refreshes int64
+	}
+	var rows []row
+	for _, policy := range refrint.Policies() {
+		res, err := refrint.Simulate(refrint.SimRequest{
+			App:         *app,
+			Policy:      policy.String(),
+			RetentionUS: *retention,
+			EffortScale: 0.25,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows = append(rows, row{
+			policy:    policy.String(),
+			memRatio:  res.Energy.MemoryHierarchy() / baseline.Energy.MemoryHierarchy(),
+			timeRatio: float64(res.Cycles) / float64(baseline.Cycles),
+			refreshes: res.Stats.TotalOnChipRefreshes(),
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].memRatio < rows[j].memRatio })
+
+	fmt.Printf("Application %s at %g us retention (normalized to full-SRAM)\n\n", *app, *retention)
+	fmt.Printf("%-14s %12s %12s %14s\n", "policy", "memory", "time", "refreshes")
+	for _, r := range rows {
+		fmt.Printf("%-14s %11.1f%% %11.1f%% %14d\n", r.policy, 100*r.memRatio, 100*r.timeRatio, r.refreshes)
+	}
+	fmt.Println("\nLower memory % is better; the paper's proposal is the R.* family,")
+	fmt.Println("with R.WB(n,m) trading a little execution time for the lowest energy.")
+}

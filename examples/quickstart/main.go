@@ -1,0 +1,55 @@
+// Quickstart: simulate one application on the full-SRAM baseline and on the
+// Refrint WB(32,32) eDRAM hierarchy, and compare memory energy and execution
+// time — the paper's headline comparison, on one benchmark.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"refrint"
+)
+
+func main() {
+	const app = "LU"
+
+	baseline, err := refrint.Simulate(refrint.SimRequest{
+		App:    app,
+		Policy: "SRAM",
+		// Shorten the run so the example finishes in a few seconds.
+		EffortScale: 0.25,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	refrintRun, err := refrint.Simulate(refrint.SimRequest{
+		App:         app,
+		Policy:      "R.WB(32,32)",
+		RetentionUS: refrint.Retention50us,
+		EffortScale: 0.25,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("Application            : %s (16 threads)\n", app)
+	fmt.Printf("Full-SRAM hierarchy    : %.3g J memory energy, %d cycles\n",
+		baseline.Energy.MemoryHierarchy(), baseline.Cycles)
+	fmt.Printf("Refrint R.WB(32,32)    : %.3g J memory energy, %d cycles\n",
+		refrintRun.Energy.MemoryHierarchy(), refrintRun.Cycles)
+
+	memRatio := refrintRun.Energy.MemoryHierarchy() / baseline.Energy.MemoryHierarchy()
+	timeRatio := float64(refrintRun.Cycles) / float64(baseline.Cycles)
+	fmt.Printf("\nRefrint uses %.0f%% of the SRAM memory-hierarchy energy", 100*memRatio)
+	fmt.Printf(" with a %.1f%% slowdown.\n", 100*(timeRatio-1))
+	fmt.Printf("Refresh breakdown      : %d line refreshes from %d sentry interrupts, %d policy writebacks, %d policy invalidations\n",
+		refrintRun.Stats.TotalOnChipRefreshes(),
+		refrintRun.Stats.SentryInterrupts,
+		refrintRun.Stats.PolicyWritebacks,
+		refrintRun.Stats.PolicyInvalidates)
+}

@@ -1,0 +1,194 @@
+// Package cache implements the set-associative cache arrays used at every
+// level of the simulated hierarchy: lookup, LRU replacement, line state
+// bookkeeping, and flat per-line indexing that the refresh machinery
+// (package core) uses to address lines from sentry interrupts and periodic
+// group schedules.
+//
+// A Cache models one bank.  Multi-bank caches (the shared L3) are built by
+// the higher layers as one Cache per bank with addresses interleaved across
+// banks.
+package cache
+
+import (
+	"fmt"
+
+	"refrint/internal/config"
+	"refrint/internal/mem"
+)
+
+// Cache is one bank of a set-associative cache.
+type Cache struct {
+	cfg   config.CacheConfig
+	sets  int
+	ways  int
+	lines []mem.Line // sets*ways entries; set s occupies [s*ways, (s+1)*ways)
+}
+
+// New builds an empty cache bank from its configuration.
+func New(cfg config.CacheConfig) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(fmt.Sprintf("cache: invalid config: %v", err))
+	}
+	sets := cfg.Sets()
+	return &Cache{
+		cfg:   cfg,
+		sets:  sets,
+		ways:  cfg.Ways,
+		lines: make([]mem.Line, sets*cfg.Ways),
+	}
+}
+
+// Config returns the bank's configuration.
+func (c *Cache) Config() config.CacheConfig { return c.cfg }
+
+// NumLines returns the number of line frames in the bank.
+func (c *Cache) NumLines() int { return len(c.lines) }
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.sets }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+// setOf maps a line address to its set index within this bank.  Banked
+// caches skip the bank-select bits via the configuration's IndexShift so
+// that all sets of the bank are usable.
+func (c *Cache) setOf(addr mem.LineAddr) int {
+	return int((uint64(addr) >> uint(c.cfg.IndexShift)) % uint64(c.sets))
+}
+
+// LineAt returns the line frame with the given flat index
+// (0 <= idx < NumLines).
+func (c *Cache) LineAt(idx int) *mem.Line { return &c.lines[idx] }
+
+// IndexOf returns the flat index of a line frame previously returned by
+// Probe or Insert.  For a frame holding a tag it is O(ways); for other
+// frames it falls back to a linear scan.
+func (c *Cache) IndexOf(l *mem.Line) int {
+	base := c.setOf(l.Tag) * c.ways
+	for w := 0; w < c.ways; w++ {
+		if &c.lines[base+w] == l {
+			return base + w
+		}
+	}
+	for i := range c.lines {
+		if &c.lines[i] == l {
+			return i
+		}
+	}
+	return -1
+}
+
+// Probe looks up addr and returns its line frame if present with a valid
+// state.  It does not update replacement state; use Touch for that.
+func (c *Cache) Probe(addr mem.LineAddr) (*mem.Line, bool) {
+	set := c.setOf(addr)
+	base := set * c.ways
+	for w := 0; w < c.ways; w++ {
+		l := &c.lines[base+w]
+		if l.Valid() && l.Tag == addr {
+			return l, true
+		}
+	}
+	return nil, false
+}
+
+// Touch marks a hit on the line at cycle `now`: it updates the LRU stamp,
+// the last-touch time, and (for eDRAM) the implicit refresh that any access
+// performs (LastRefresh), and recharges the sentry bit.
+func (c *Cache) Touch(l *mem.Line, now int64) {
+	l.LRU = now
+	l.LastTouch = now
+	l.LastRefresh = now
+	l.Sentry = true
+}
+
+// Victim returns the line frame that Insert would replace for addr: an
+// invalid frame in the set if one exists, otherwise the LRU valid frame.
+func (c *Cache) Victim(addr mem.LineAddr) *mem.Line {
+	set := c.setOf(addr)
+	base := set * c.ways
+	var victim *mem.Line
+	for w := 0; w < c.ways; w++ {
+		l := &c.lines[base+w]
+		if !l.Valid() {
+			return l
+		}
+		if victim == nil || l.LRU < victim.LRU {
+			victim = l
+		}
+	}
+	return victim
+}
+
+// Insert places addr into the cache with the given state at cycle now and
+// returns the frame used plus a copy of the evicted line (Evicted reports
+// whether a valid line was displaced).  The caller is responsible for
+// writing back the victim if it was dirty and for maintaining inclusion.
+func (c *Cache) Insert(addr mem.LineAddr, state mem.State, now int64) (frame *mem.Line, victim mem.Line, evicted bool) {
+	frame = c.Victim(addr)
+	victim = *frame
+	evicted = victim.Valid()
+	frame.Reset()
+	frame.Tag = addr
+	frame.State = state
+	c.Touch(frame, now)
+	return frame, victim, evicted
+}
+
+// Invalidate removes addr from the cache if present and returns a copy of
+// the line as it was (for writeback decisions) and whether it was present.
+func (c *Cache) Invalidate(addr mem.LineAddr) (mem.Line, bool) {
+	l, ok := c.Probe(addr)
+	if !ok {
+		return mem.Line{}, false
+	}
+	old := *l
+	l.Reset()
+	return old, true
+}
+
+// ForEachValid calls fn for every valid line frame.  fn may mutate the line
+// (including invalidating it).
+func (c *Cache) ForEachValid(fn func(idx int, l *mem.Line)) {
+	for i := range c.lines {
+		if c.lines[i].Valid() {
+			fn(i, &c.lines[i])
+		}
+	}
+}
+
+// ValidCount returns the number of valid lines.
+func (c *Cache) ValidCount() int {
+	n := 0
+	for i := range c.lines {
+		if c.lines[i].Valid() {
+			n++
+		}
+	}
+	return n
+}
+
+// DirtyCount returns the number of dirty (Modified) lines.
+func (c *Cache) DirtyCount() int {
+	n := 0
+	for i := range c.lines {
+		if c.lines[i].Dirty() {
+			n++
+		}
+	}
+	return n
+}
+
+// Flush invalidates every line and returns copies of the dirty lines that
+// were present (the caller writes them back).
+func (c *Cache) Flush() []mem.Line {
+	var dirty []mem.Line
+	for i := range c.lines {
+		if c.lines[i].Dirty() {
+			dirty = append(dirty, c.lines[i])
+		}
+		c.lines[i].Reset()
+	}
+	return dirty
+}

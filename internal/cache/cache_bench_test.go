@@ -1,0 +1,62 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+
+	"refrint/internal/config"
+	"refrint/internal/mem"
+)
+
+func l3BankConfig() config.CacheConfig {
+	cfg := config.FullSize().L3
+	cfg.Banks = 1
+	cfg.Shared = false
+	return cfg
+}
+
+// BenchmarkProbeHit measures the cost of a hit lookup in a full-size L3 bank.
+func BenchmarkProbeHit(b *testing.B) {
+	c := New(l3BankConfig())
+	addrs := make([]mem.LineAddr, 1024)
+	for i := range addrs {
+		addrs[i] = mem.LineAddr(i * 7)
+		c.Insert(addrs[i], mem.Exclusive, int64(i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := c.Probe(addrs[i%len(addrs)]); !ok {
+			b.Fatal("unexpected miss")
+		}
+	}
+}
+
+// BenchmarkInsertWithEviction measures steady-state fills that displace LRU
+// victims.
+func BenchmarkInsertWithEviction(b *testing.B) {
+	c := New(l3BankConfig())
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Insert(mem.LineAddr(rng.Intn(1<<20)), mem.Modified, int64(i))
+	}
+}
+
+// BenchmarkForEachValid measures a full-bank sweep, the inner loop of the
+// Periodic refresh scheme.
+func BenchmarkForEachValid(b *testing.B) {
+	c := New(l3BankConfig())
+	for i := 0; i < c.NumLines(); i += 2 {
+		c.Insert(mem.LineAddr(i), mem.Exclusive, int64(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		c.ForEachValid(func(idx int, l *mem.Line) { n++ })
+		if n == 0 {
+			b.Fatal("no valid lines")
+		}
+	}
+}

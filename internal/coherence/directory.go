@@ -1,0 +1,289 @@
+// Package coherence implements the directory-based MESI protocol the paper
+// keeps at the shared L3 (Table 5.1, "Directory MESI protocol at L3").
+//
+// The directory is a full-map directory: for every line present in the L3 it
+// records which cores hold a copy in their private (L1/L2) hierarchy and
+// whether one of them owns it in Modified state.  The simulator consults the
+// directory on every L3 access to learn which coherence actions (remote
+// invalidations, downgrades, dirty-data forwards) the access implies, and
+// notifies the directory when private caches evict lines or when the L3
+// itself invalidates a line (inclusion victims and refresh-policy
+// invalidations both flow through here).
+//
+// MESI's Exclusive state is represented as a SharedClean entry whose Owner
+// field records the core holding the exclusive grant.  Because that core may
+// upgrade its copy to Modified silently (the point of the E state), any later
+// access by a different core probes/downgrades the grant holder exactly as it
+// would a Modified owner; whether dirty data actually moves is decided by the
+// simulator from the owner's real cache state.
+package coherence
+
+import "refrint/internal/mem"
+
+// DirState is the directory's view of a line.
+type DirState uint8
+
+// Directory states.
+const (
+	// Uncached: no private cache holds the line.
+	Uncached DirState = iota
+	// SharedClean: one or more private caches hold a clean copy.
+	SharedClean
+	// OwnedModified: exactly one private cache holds the line in M state.
+	OwnedModified
+)
+
+// String implements fmt.Stringer.
+func (s DirState) String() string {
+	switch s {
+	case Uncached:
+		return "U"
+	case SharedClean:
+		return "S"
+	case OwnedModified:
+		return "M"
+	default:
+		return "?"
+	}
+}
+
+// Entry is the directory record of one L3-resident line.
+type Entry struct {
+	Sharers uint32 // bitmask of cores holding the line in private caches
+	Owner   int    // core holding it Modified, or -1
+	State   DirState
+}
+
+// reset returns the entry to Uncached.
+func (e *Entry) reset() {
+	e.Sharers = 0
+	e.Owner = -1
+	e.State = Uncached
+}
+
+// HasSharer reports whether core holds the line.
+func (e *Entry) HasSharer(core int) bool { return e.Sharers&(1<<uint(core)) != 0 }
+
+// NumSharers returns the number of private caches holding the line.
+func (e *Entry) NumSharers() int {
+	n := 0
+	for m := e.Sharers; m != 0; m &= m - 1 {
+		n++
+	}
+	return n
+}
+
+// SharerList returns the core ids of all sharers.
+func (e *Entry) SharerList() []int {
+	var out []int
+	for c := 0; c < 32; c++ {
+		if e.HasSharer(c) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Action describes the coherence work an access or invalidation implies.
+// The simulator turns each element into network messages and cache
+// operations.
+type Action struct {
+	// InvalidateCores are cores whose private copies must be invalidated.
+	InvalidateCores []int
+	// DowngradeCore is a core that must downgrade M->S and write its dirty
+	// data back to the L3 (-1 if none).
+	DowngradeCore int
+	// DirtyForward reports whether dirty data had to be fetched from the
+	// downgraded/invalidated owner (the requester receives the latest data).
+	DirtyForward bool
+	// WritebackToL3 reports whether the action causes dirty data to be
+	// written into the L3 (making the L3 copy dirty relative to DRAM).
+	WritebackToL3 bool
+}
+
+// Directory is the full-map MESI directory for one L3 bank.
+type Directory struct {
+	cores   int
+	entries map[mem.LineAddr]*Entry
+
+	// Counters.
+	invalidationsSent int64
+	downgradesSent    int64
+	dirtyForwards     int64
+}
+
+// New builds an empty directory for a bank shared by `cores` cores.
+func New(cores int) *Directory {
+	return &Directory{cores: cores, entries: make(map[mem.LineAddr]*Entry)}
+}
+
+// entry returns the record for addr, creating it Uncached if absent.
+func (d *Directory) entry(addr mem.LineAddr) *Entry {
+	e, ok := d.entries[addr]
+	if !ok {
+		e = &Entry{Owner: -1}
+		d.entries[addr] = e
+	}
+	return e
+}
+
+// Lookup returns the entry for addr, or nil if the directory has no record.
+func (d *Directory) Lookup(addr mem.LineAddr) *Entry {
+	return d.entries[addr]
+}
+
+// Entries returns the number of tracked lines.
+func (d *Directory) Entries() int { return len(d.entries) }
+
+// InvalidationsSent returns the number of invalidation messages generated.
+func (d *Directory) InvalidationsSent() int64 { return d.invalidationsSent }
+
+// DowngradesSent returns the number of downgrade messages generated.
+func (d *Directory) DowngradesSent() int64 { return d.downgradesSent }
+
+// DirtyForwards returns the number of dirty-data forwards.
+func (d *Directory) DirtyForwards() int64 { return d.dirtyForwards }
+
+// Read records core performing a read (load or instruction fetch) of addr
+// and returns the coherence action it implies.
+func (d *Directory) Read(addr mem.LineAddr, core int) Action {
+	e := d.entry(addr)
+	act := Action{DowngradeCore: -1}
+	switch e.State {
+	case Uncached:
+		// First reader: grant the line exclusively (MESI E state).
+		e.State = SharedClean
+		e.Owner = core
+	case SharedClean:
+		if e.Owner >= 0 && e.Owner != core {
+			// Another core holds the exclusive grant and may have silently
+			// modified its copy: it must be downgraded before the requester
+			// can read.  The simulator forwards dirty data only if the copy
+			// really is dirty.
+			act.DowngradeCore = e.Owner
+			d.downgradesSent++
+			e.Owner = -1
+		}
+	case OwnedModified:
+		if e.Owner != core {
+			// Owner must downgrade and push its dirty data to the L3, which
+			// then forwards it to the requester.
+			act.DowngradeCore = e.Owner
+			act.DirtyForward = true
+			act.WritebackToL3 = true
+			d.downgradesSent++
+			d.dirtyForwards++
+			e.Owner = -1
+			e.State = SharedClean
+		}
+	}
+	e.Sharers |= 1 << uint(core)
+	return act
+}
+
+// Write records core performing a store to addr and returns the coherence
+// action: every other sharer is invalidated and, if a different core owned
+// the line Modified, its dirty data is forwarded to the requester.
+func (d *Directory) Write(addr mem.LineAddr, core int) Action {
+	e := d.entry(addr)
+	act := Action{DowngradeCore: -1}
+	if e.State == OwnedModified && e.Owner == core {
+		return act // silent upgrade of the current owner
+	}
+	for _, sharer := range e.SharerList() {
+		if sharer == core {
+			continue
+		}
+		act.InvalidateCores = append(act.InvalidateCores, sharer)
+		d.invalidationsSent++
+	}
+	if e.State == OwnedModified && e.Owner != core {
+		act.DirtyForward = true
+		act.WritebackToL3 = true
+		d.dirtyForwards++
+	}
+	e.Sharers = 1 << uint(core)
+	e.Owner = core
+	e.State = OwnedModified
+	return act
+}
+
+// SharerEvicted records that core silently evicted its private copy of addr
+// (clean eviction).  Dirty private evictions should use SharerWroteBack.
+func (d *Directory) SharerEvicted(addr mem.LineAddr, core int) {
+	e, ok := d.entries[addr]
+	if !ok {
+		return
+	}
+	e.Sharers &^= 1 << uint(core)
+	if e.Owner == core {
+		e.Owner = -1
+		if e.State == OwnedModified {
+			e.State = SharedClean
+		}
+	}
+	if e.Sharers == 0 {
+		e.reset()
+	}
+}
+
+// SharerWroteBack records that core evicted a dirty private copy of addr and
+// wrote the data back to the L3.
+func (d *Directory) SharerWroteBack(addr mem.LineAddr, core int) {
+	e, ok := d.entries[addr]
+	if !ok {
+		return
+	}
+	e.Sharers &^= 1 << uint(core)
+	if e.Owner == core {
+		e.Owner = -1
+	}
+	if e.Sharers == 0 {
+		e.reset()
+	} else {
+		e.State = SharedClean
+	}
+}
+
+// InvalidateLine is called when the L3 itself drops addr (inclusion victim,
+// refresh-policy invalidation, or decay).  It returns the action needed to
+// keep the hierarchy inclusive: every private copy must be invalidated, and
+// a Modified private copy must be written back (to DRAM, since the L3 copy
+// is going away).
+func (d *Directory) InvalidateLine(addr mem.LineAddr) Action {
+	act := Action{DowngradeCore: -1}
+	e, ok := d.entries[addr]
+	if !ok {
+		return act
+	}
+	for _, sharer := range e.SharerList() {
+		act.InvalidateCores = append(act.InvalidateCores, sharer)
+		d.invalidationsSent++
+	}
+	if e.Owner >= 0 {
+		// Either a recorded Modified owner or an exclusive grant holder that
+		// may have silently modified its copy.
+		act.DirtyForward = e.State == OwnedModified
+		if act.DirtyForward {
+			d.dirtyForwards++
+		}
+	}
+	delete(d.entries, addr)
+	return act
+}
+
+// HasUpperCopies reports whether any private cache still holds addr.
+func (d *Directory) HasUpperCopies(addr mem.LineAddr) bool {
+	e, ok := d.entries[addr]
+	return ok && e.Sharers != 0
+}
+
+// OwnedDirtyAbove reports whether some private cache holds addr Modified,
+// i.e. the L3's copy may be stale.  The refresh policies cannot see this
+// (Section 3.2 "the policies are unable to disambiguate lines that, within
+// the same state, behave differently"), but the simulator needs it to keep
+// the data correct when such a line is invalidated.
+func (d *Directory) OwnedDirtyAbove(addr mem.LineAddr) bool {
+	e, ok := d.entries[addr]
+	return ok && e.State == OwnedModified
+}

@@ -1,0 +1,427 @@
+// Package core implements the paper's contribution: the Refrint refresh
+// machinery for eDRAM cache banks.
+//
+// A Bank couples one cache bank (package cache) with
+//
+//   - the eDRAM retention model (package edram),
+//   - a time-based refresh policy — Periodic group refresh or Refrint
+//     sentry-bit interrupts (Table 3.1),
+//   - a data-based refresh policy — All, Valid, Dirty or WB(n,m) — including
+//     the per-line Count maintenance and the decision logic of Figure 4.1,
+//   - the port-occupancy accounting that makes refresh activity visible in
+//     execution time (refresh interrupts take priority over demand requests;
+//     periodic sweeps block the bank), and
+//   - the decay rule: a line whose cells were not recharged within the
+//     retention period has lost its data.
+//
+// Banks are used for every level of the hierarchy; an SRAM bank simply has
+// no retention model and never refreshes, so the same code path serves the
+// paper's full-SRAM baseline.
+package core
+
+import (
+	"fmt"
+
+	"refrint/internal/cache"
+	"refrint/internal/config"
+	"refrint/internal/edram"
+	"refrint/internal/event"
+	"refrint/internal/mem"
+	"refrint/internal/stats"
+)
+
+// Hooks are the callbacks a Bank uses to interact with the rest of the
+// hierarchy when its refresh policy writes back or invalidates a line.  The
+// simulator wires these to the next-lower level, the coherence directory and
+// the network model.  Either hook may be nil.
+type Hooks struct {
+	// Writeback is called when the policy writes a dirty line back to the
+	// next lower level (the line stays in the cache, now clean).
+	Writeback func(addr mem.LineAddr, now int64)
+	// Invalidate is called when the policy invalidates a line.  wasDirty
+	// reports whether the invalidated copy was dirty in THIS cache (the
+	// policy only invalidates clean lines, so this is false for policy
+	// invalidations, but decay can destroy dirty data).
+	Invalidate func(addr mem.LineAddr, wasDirty bool, now int64)
+}
+
+// Bank is one refresh-managed cache bank.
+type Bank struct {
+	cacheCfg config.CacheConfig
+	cell     config.CellConfig
+	policy   config.Policy
+	level    stats.Level
+
+	arr   *cache.Cache
+	ret   edram.Retention
+	sched edram.PeriodicSchedule
+	wheel *event.Wheel
+	// sentryDeadline[idx] is the currently registered sentry deadline of the
+	// line frame idx.  Wheel entries that do not match it are stale (the
+	// line was touched, refilled or replaced after they were scheduled) and
+	// are dropped when popped, so each frame has exactly one live entry.
+	sentryDeadline []int64
+
+	hooks Hooks
+	st    *stats.Stats
+
+	// portBusyUntil is the cycle up to which the bank's port is occupied by
+	// refresh work.  Demand accesses arriving earlier wait.
+	portBusyUntil int64
+	// periodicFired counts how many group firings have been processed.
+	periodicFired int64
+	// clock is the bank-local time up to which refresh work has been
+	// processed.
+	clock int64
+}
+
+// NewBank builds a refresh-managed bank.
+func NewBank(cacheCfg config.CacheConfig, cell config.CellConfig, policy config.Policy, level stats.Level, st *stats.Stats, hooks Hooks) *Bank {
+	if err := policy.Validate(); err != nil {
+		panic(fmt.Sprintf("core: %v", err))
+	}
+	b := &Bank{
+		cacheCfg: cacheCfg,
+		cell:     cell,
+		policy:   policy,
+		level:    level,
+		arr:      cache.New(cacheCfg),
+		ret:      edram.NewRetention(cell),
+		hooks:    hooks,
+		st:       st,
+	}
+	if b.Refreshable() {
+		if err := b.ret.Validate(); err != nil {
+			panic(fmt.Sprintf("core: %v", err))
+		}
+		b.sched = edram.NewPeriodicSchedule(b.ret, cacheCfg.SubArrays, b.arr.NumLines())
+		b.wheel = event.NewWheel(64)
+		b.sentryDeadline = make([]int64, b.arr.NumLines())
+		for i := range b.sentryDeadline {
+			b.sentryDeadline[i] = -1
+		}
+	}
+	return b
+}
+
+// Cache exposes the underlying array (tests and the hierarchy use it for
+// probes that must not disturb refresh state).
+func (b *Bank) Cache() *cache.Cache { return b.arr }
+
+// Policy returns the refresh policy the bank runs.
+func (b *Bank) Policy() config.Policy { return b.policy }
+
+// Level returns the stats level this bank reports under.
+func (b *Bank) Level() stats.Level { return b.level }
+
+// Refreshable reports whether the bank is built from eDRAM and therefore
+// needs refresh.
+func (b *Bank) Refreshable() bool {
+	return b.cell.Refreshable() && b.policy.Time != config.NoRefresh
+}
+
+// counters returns the stats counters for this bank's level.
+func (b *Bank) counters() *stats.LevelCounters { return b.st.Level(b.level) }
+
+// PortStart returns the earliest cycle at or after `now` at which a demand
+// access can use the bank port, given pending refresh work.  It also records
+// the stall in the level counters.
+func (b *Bank) PortStart(now int64) int64 {
+	if b.portBusyUntil <= now {
+		return now
+	}
+	b.counters().RefreshStall += b.portBusyUntil - now
+	return b.portBusyUntil
+}
+
+// occupyPort reserves one cycle of the bank port for refresh work happening
+// at cycle `at` (or as soon after as the port is free) and returns the cycle
+// the work occupies.
+func (b *Bank) occupyPort(at int64) int64 {
+	if b.portBusyUntil < at {
+		b.portBusyUntil = at
+	}
+	cycle := b.portBusyUntil
+	b.portBusyUntil++
+	return cycle
+}
+
+// scheduleSentry registers the sentry-decay deadline of a line, replacing any
+// previously registered deadline for the same frame.
+func (b *Bank) scheduleSentry(idx int, l *mem.Line) {
+	if b.wheel == nil || b.policy.Time != config.RefrintTime || idx < 0 {
+		return
+	}
+	deadline := b.ret.SentryDeadline(l.LastRefresh)
+	if b.sentryDeadline[idx] == deadline {
+		return // already registered
+	}
+	b.sentryDeadline[idx] = deadline
+	b.wheel.Schedule(deadline, int64(idx))
+}
+
+// resetCount re-arms the WB(n,m) budget of a line after a normal access,
+// following Figure 4.1: dirty lines get n, clean lines get m.
+func (b *Bank) resetCount(l *mem.Line) {
+	if b.policy.Data != config.WBData {
+		return
+	}
+	if l.Dirty() {
+		l.Count = b.policy.N
+	} else {
+		l.Count = b.policy.M
+	}
+}
+
+// Probe looks up addr for a demand access at cycle `now`.  If the line is
+// present but its cells have decayed (possible only when the data policy let
+// it lapse), the line is dropped and the probe misses.
+func (b *Bank) Probe(addr mem.LineAddr, now int64) (*mem.Line, bool) {
+	b.AdvanceTo(now)
+	l, ok := b.arr.Probe(addr)
+	if !ok {
+		return nil, false
+	}
+	if b.Refreshable() && b.ret.Decayed(l.LastRefresh, now) {
+		// Data lost.  Dirty data that decays silently would be a correctness
+		// bug in a real system; the policies are designed never to let that
+		// happen, and the counter lets tests assert it.
+		b.counters().Decays++
+		if b.hooks.Invalidate != nil {
+			b.hooks.Invalidate(l.Tag, l.Dirty(), now)
+		}
+		l.Reset()
+		return nil, false
+	}
+	return l, true
+}
+
+// Touch records a demand hit on a line: the access refreshes the cells and
+// the sentry bit and re-arms the WB(n,m) count.
+func (b *Bank) Touch(l *mem.Line, now int64) {
+	b.arr.Touch(l, now)
+	b.resetCount(l)
+	if b.policy.Time == config.RefrintTime {
+		b.scheduleSentry(b.arr.IndexOf(l), l)
+	}
+}
+
+// Insert places a new line in the bank (a fill from the next lower level) and
+// returns the frame plus the victim information exactly as cache.Insert does.
+func (b *Bank) Insert(addr mem.LineAddr, state mem.State, now int64) (frame *mem.Line, victim mem.Line, evicted bool) {
+	b.AdvanceTo(now)
+	frame, victim, evicted = b.arr.Insert(addr, state, now)
+	b.resetCount(frame)
+	b.counters().Fills++
+	if evicted {
+		b.counters().Evictions++
+	}
+	if b.policy.Time == config.RefrintTime {
+		b.scheduleSentry(b.arr.IndexOf(frame), frame)
+	}
+	return frame, victim, evicted
+}
+
+// Invalidate drops addr from the bank (coherence or inclusion), returning the
+// old copy.
+//
+// Unlike Probe and Insert it does not advance the bank's refresh clock: the
+// timestamp of a coherence operation belongs to the requesting core, whose
+// clock may be far ahead of this bank's owner, and letting it drive this
+// bank's refresh processing would charge future refresh work against the
+// owner's next (earlier) access.
+func (b *Bank) Invalidate(addr mem.LineAddr, now int64) (mem.Line, bool) {
+	old, ok := b.arr.Invalidate(addr)
+	if ok {
+		b.counters().Invalidations++
+	}
+	return old, ok
+}
+
+// Peek looks up addr without advancing the bank's refresh clock and without
+// decay handling.  Coherence operations initiated by other cores use it to
+// read or adjust a remote cache's line state (their timestamps must not
+// drive the remote bank's refresh processing).
+func (b *Bank) Peek(addr mem.LineAddr) (*mem.Line, bool) {
+	return b.arr.Probe(addr)
+}
+
+// AdvanceTo processes all refresh work with deadlines at or before `now`.
+// It is idempotent and monotone: calling it with an earlier time is a no-op.
+func (b *Bank) AdvanceTo(now int64) {
+	if !b.Refreshable() || now <= b.clock {
+		if now > b.clock {
+			b.clock = now
+		}
+		return
+	}
+	switch b.policy.Time {
+	case config.RefrintTime:
+		b.advanceRefrint(now)
+	case config.PeriodicTime:
+		b.advancePeriodic(now)
+	}
+	b.clock = now
+}
+
+// advanceRefrint drains sentry interrupts due by `now`, in deadline order,
+// applying the data policy to each interrupting line (Figure 4.1).  Stale
+// entries (the line was accessed after the entry was scheduled, pushing its
+// real deadline later) are re-registered at their true deadline; entries for
+// lines that have since been invalidated or replaced are dropped.
+func (b *Bank) advanceRefrint(now int64) {
+	for {
+		due := b.wheel.PopDue(now, -1)
+		if len(due) == 0 {
+			return
+		}
+		for _, entry := range due {
+			idx := int(entry.ID)
+			if b.sentryDeadline[idx] != entry.Cycle {
+				// Stale: the frame was touched, refilled or replaced after
+				// this entry was scheduled; the live entry for its current
+				// deadline is elsewhere in the wheel.
+				continue
+			}
+			b.sentryDeadline[idx] = -1
+			l := b.arr.LineAt(idx)
+			if !l.Valid() {
+				// Invalid frames have no charge to preserve; their sentry
+				// raises no further interrupts until the frame is refilled.
+				continue
+			}
+			// A genuine sentry interrupt.
+			b.st.SentryInterrupts++
+			at := b.occupyPort(entry.Cycle)
+			b.applyDataPolicy(idx, l, at)
+		}
+	}
+}
+
+// advancePeriodic performs the staggered group sweeps due by `now`.
+func (b *Bank) advancePeriodic(now int64) {
+	for {
+		next := b.periodicFired
+		group, cycle := b.sched.GroupAt(next)
+		if cycle > now {
+			return
+		}
+		b.periodicFired++
+		b.st.PeriodicGroupScans++
+		start, end := b.sched.GroupRange(group)
+		// The sweep blocks the bank port for one cycle per line in the
+		// group, starting at the firing time (Section 3.2 / 6.5).
+		if b.portBusyUntil < cycle {
+			b.portBusyUntil = cycle
+		}
+		b.portBusyUntil += b.sched.BlockCycles()
+		for idx := start; idx < end; idx++ {
+			l := b.arr.LineAt(idx)
+			if !l.Valid() {
+				if b.policy.RefreshesInvalid() {
+					// The All reference policy refreshes even invalid frames.
+					b.counters().Refreshes++
+					b.st.PolicyRefreshes++
+				}
+				continue
+			}
+			b.applyDataPolicy(idx, l, cycle)
+		}
+	}
+}
+
+// applyDataPolicy executes the data-based refresh decision for one line that
+// is due for refresh at cycle `at` (Figure 4.1 for WB(n,m); Table 3.1 for the
+// others).
+func (b *Bank) applyDataPolicy(idx int, l *mem.Line, at int64) {
+	switch b.policy.Data {
+	case config.AllData:
+		b.refreshLine(idx, l, at)
+
+	case config.ValidData:
+		// Only valid lines reach this point; always refresh.
+		b.refreshLine(idx, l, at)
+
+	case config.DirtyData:
+		if l.Dirty() {
+			b.refreshLine(idx, l, at)
+		} else {
+			b.invalidateLine(l, at)
+		}
+
+	case config.WBData:
+		switch {
+		case l.Count >= 1:
+			l.Count--
+			b.refreshLine(idx, l, at)
+		case l.Dirty():
+			// Count exhausted on a dirty line: write it back, keep it as
+			// valid clean, re-arm the clean budget.  The writeback itself
+			// refreshes the line.
+			b.writebackLine(idx, l, at)
+		default:
+			// Count exhausted on a valid clean line: let it go.
+			b.invalidateLine(l, at)
+		}
+	}
+}
+
+// refreshLine recharges the cells and sentry bit of a line.
+func (b *Bank) refreshLine(idx int, l *mem.Line, at int64) {
+	l.LastRefresh = at
+	l.Sentry = true
+	b.counters().Refreshes++
+	b.st.PolicyRefreshes++
+	if b.policy.Time == config.RefrintTime {
+		b.scheduleSentry(idx, l)
+	}
+}
+
+// writebackLine implements the WB(n,m) "write back and keep clean" action.
+func (b *Bank) writebackLine(idx int, l *mem.Line, at int64) {
+	b.counters().Writebacks++
+	b.st.PolicyWritebacks++
+	if b.hooks.Writeback != nil {
+		b.hooks.Writeback(l.Tag, at)
+	}
+	l.State = mem.Exclusive // valid clean
+	l.Count = b.policy.M
+	// The writeback read the line and rewrote it: the cells are recharged.
+	l.LastRefresh = at
+	l.Sentry = true
+	if b.policy.Time == config.RefrintTime {
+		b.scheduleSentry(idx, l)
+	}
+}
+
+// invalidateLine implements the policy invalidation of a clean line.
+func (b *Bank) invalidateLine(l *mem.Line, at int64) {
+	b.counters().Invalidations++
+	b.st.PolicyInvalidates++
+	if b.hooks.Invalidate != nil {
+		b.hooks.Invalidate(l.Tag, l.Dirty(), at)
+	}
+	l.Reset()
+}
+
+// Drain processes all refresh work up to endCycle (used at the end of a run
+// so refresh energy for the whole execution is accounted).
+func (b *Bank) Drain(endCycle int64) {
+	b.AdvanceTo(endCycle)
+}
+
+// Flush invalidates every line and returns the dirty copies so the caller
+// can write them back (end-of-run flush, Section 6 "at the end of the
+// simulation all dirty data will be written back to main memory").
+func (b *Bank) Flush() []mem.Line {
+	return b.arr.Flush()
+}
+
+// PendingRefreshWork reports how many sentry deadlines are registered
+// (Refrint) — useful for tests and debugging.
+func (b *Bank) PendingRefreshWork() int {
+	if b.wheel == nil {
+		return 0
+	}
+	return b.wheel.Len()
+}

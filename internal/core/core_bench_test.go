@@ -1,0 +1,81 @@
+package core
+
+import (
+	"testing"
+
+	"refrint/internal/config"
+	"refrint/internal/mem"
+	"refrint/internal/stats"
+)
+
+func benchBank(policy config.Policy) (*Bank, *stats.Stats) {
+	cfg := config.FullSize().L3
+	cfg.Banks = 1
+	cfg.Shared = false
+	cell := config.CellConfig{
+		Tech:              config.EDRAM,
+		LeakageRatio:      0.25,
+		RetentionCycles:   50_000,
+		SentryGuardCycles: 16_384,
+	}
+	st := stats.New(1)
+	return NewBank(cfg, cell, policy, stats.L3, st, Hooks{}), st
+}
+
+// BenchmarkSentryInterruptProcessing measures the Refrint path: one full
+// sentry period of interrupts over a half-full full-size L3 bank.
+func BenchmarkSentryInterruptProcessing(b *testing.B) {
+	bank, _ := benchBank(config.RefrintValid)
+	for i := 0; i < bank.Cache().NumLines(); i += 2 {
+		bank.Insert(mem.LineAddr(i), mem.Exclusive, 0)
+	}
+	b.ResetTimer()
+	now := int64(0)
+	for i := 0; i < b.N; i++ {
+		now += 50_000 - 16_384
+		bank.AdvanceTo(now)
+	}
+}
+
+// BenchmarkPeriodicSweepProcessing measures the Periodic path over the same
+// bank occupancy.
+func BenchmarkPeriodicSweepProcessing(b *testing.B) {
+	bank, _ := benchBank(config.PeriodicValid)
+	for i := 0; i < bank.Cache().NumLines(); i += 2 {
+		bank.Insert(mem.LineAddr(i), mem.Exclusive, 0)
+	}
+	b.ResetTimer()
+	now := int64(0)
+	for i := 0; i < b.N; i++ {
+		now += 50_000
+		bank.AdvanceTo(now)
+	}
+}
+
+// BenchmarkWBDecision measures the WB(n,m) decision logic of Figure 4.1 on a
+// line that alternates between refresh, writeback and invalidation outcomes.
+func BenchmarkWBDecision(b *testing.B) {
+	bank, _ := benchBank(config.RefrintWB(1, 1))
+	frame, _, _ := bank.Insert(0x1, mem.Modified, 0)
+	idx := bank.Cache().IndexOf(frame)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !frame.Valid() {
+			frame.State = mem.Modified
+			frame.Count = 1
+		}
+		bank.applyDataPolicy(idx, frame, int64(i))
+	}
+}
+
+// BenchmarkDemandTouch measures the per-access bookkeeping (recharge, count
+// reset, sentry rescheduling) on the hot hit path.
+func BenchmarkDemandTouch(b *testing.B) {
+	bank, _ := benchBank(config.RefrintWB(32, 32))
+	frame, _, _ := bank.Insert(0x1, mem.Modified, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bank.Touch(frame, int64(i))
+	}
+}

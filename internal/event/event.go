@@ -1,0 +1,85 @@
+// Package event provides the discrete-event infrastructure used by the
+// simulator: a binary-heap event queue ordered by timestamp and a coarse
+// timing wheel used to track millions of per-line decay deadlines cheaply.
+package event
+
+import "container/heap"
+
+// Event is anything scheduled to happen at a simulated cycle.
+type Event struct {
+	Cycle int64
+	// Kind and Arg are interpreted by the scheduler's owner; the queue does
+	// not look at them.
+	Kind int
+	Arg  int64
+	Fn   func(cycle int64) // optional callback
+	seq  uint64            // tie-breaker for deterministic ordering
+}
+
+// Queue is a min-heap of events ordered by (Cycle, insertion order).
+// The zero value is ready to use.
+type Queue struct {
+	h   eventHeap
+	seq uint64
+}
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].Cycle != h[j].Cycle {
+		return h[i].Cycle < h[j].Cycle
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(*Event)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Push schedules an event.
+func (q *Queue) Push(e *Event) {
+	e.seq = q.seq
+	q.seq++
+	heap.Push(&q.h, e)
+}
+
+// PushAt schedules a callback-free event at the given cycle with a kind and
+// argument, and returns it.
+func (q *Queue) PushAt(cycle int64, kind int, arg int64) *Event {
+	e := &Event{Cycle: cycle, Kind: kind, Arg: arg}
+	q.Push(e)
+	return e
+}
+
+// Pop removes and returns the earliest event, or nil if the queue is empty.
+func (q *Queue) Pop() *Event {
+	if q.h.Len() == 0 {
+		return nil
+	}
+	return heap.Pop(&q.h).(*Event)
+}
+
+// Peek returns the earliest event without removing it, or nil.
+func (q *Queue) Peek() *Event {
+	if q.h.Len() == 0 {
+		return nil
+	}
+	return q.h[0]
+}
+
+// Len returns the number of pending events.
+func (q *Queue) Len() int { return q.h.Len() }
+
+// Empty reports whether no events are pending.
+func (q *Queue) Empty() bool { return q.h.Len() == 0 }

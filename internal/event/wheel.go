@@ -1,0 +1,124 @@
+package event
+
+// Wheel is a coarse-grained timing wheel keyed by simulated cycle.  It is
+// used to hold one pending decay deadline per cache line; deadlines are
+// processed lazily, in timestamp order, whenever the owning component's
+// local clock advances (see DESIGN.md section 4.2).
+//
+// Entries are bucketed by cycle / Granularity.  Within a bucket, entries are
+// drained in insertion order; because the consumer re-checks each entry's
+// true deadline against the line's current state, coarse bucketing never
+// causes a line to be processed early or late by more than the granularity,
+// and the default granularity of 1 makes ordering exact.
+type Wheel struct {
+	granularity int64
+	buckets     map[int64][]WheelEntry
+	next        int64 // earliest bucket index that may contain entries
+	count       int
+}
+
+// WheelEntry is one pending deadline.
+type WheelEntry struct {
+	Cycle int64 // the deadline
+	ID    int64 // consumer-defined identifier (e.g. line index)
+}
+
+// NewWheel returns a timing wheel with the given bucket granularity in
+// cycles.  A granularity of 1 gives exact ordering; larger granularities
+// trade ordering precision inside a bucket for less map churn.
+func NewWheel(granularity int64) *Wheel {
+	if granularity <= 0 {
+		granularity = 1
+	}
+	return &Wheel{
+		granularity: granularity,
+		buckets:     make(map[int64][]WheelEntry),
+		next:        0,
+	}
+}
+
+// Schedule adds a deadline for the given identifier.
+func (w *Wheel) Schedule(cycle int64, id int64) {
+	b := cycle / w.granularity
+	if len(w.buckets) == 0 || b < w.next {
+		w.next = b
+	}
+	w.buckets[b] = append(w.buckets[b], WheelEntry{Cycle: cycle, ID: id})
+	w.count++
+}
+
+// Len returns the number of pending entries.
+func (w *Wheel) Len() int { return w.count }
+
+// PopDue removes and returns up to max entries whose deadline is <= now, in
+// non-decreasing bucket order.  If max is negative, all due entries are
+// returned.  Entries within one bucket are returned in insertion order.
+func (w *Wheel) PopDue(now int64, max int) []WheelEntry {
+	if w.count == 0 {
+		return nil
+	}
+	var out []WheelEntry
+	nowBucket := now / w.granularity
+	for b := w.next; b <= nowBucket; b++ {
+		entries, ok := w.buckets[b]
+		if !ok {
+			continue
+		}
+		kept := entries[:0]
+		for i, e := range entries {
+			if e.Cycle <= now && (max < 0 || len(out) < max) {
+				out = append(out, e)
+			} else {
+				kept = append(kept, entries[i])
+			}
+		}
+		if len(kept) == 0 {
+			delete(w.buckets, b)
+		} else {
+			w.buckets[b] = kept
+		}
+		w.count -= len(entries) - len(kept)
+		if max >= 0 && len(out) >= max {
+			break
+		}
+	}
+	w.advanceNext()
+	return out
+}
+
+// advanceNext moves next past empty leading buckets so scans stay O(due).
+func (w *Wheel) advanceNext() {
+	if w.count == 0 {
+		w.buckets = make(map[int64][]WheelEntry)
+		w.next = 0
+		return
+	}
+	for {
+		if _, ok := w.buckets[w.next]; ok {
+			return
+		}
+		w.next++
+	}
+}
+
+// NextDeadline returns the earliest pending deadline and true, or (0, false)
+// if the wheel is empty.
+func (w *Wheel) NextDeadline() (int64, bool) {
+	if w.count == 0 {
+		return 0, false
+	}
+	b := w.next
+	for {
+		entries, ok := w.buckets[b]
+		if ok && len(entries) > 0 {
+			min := entries[0].Cycle
+			for _, e := range entries[1:] {
+				if e.Cycle < min {
+					min = e.Cycle
+				}
+			}
+			return min, true
+		}
+		b++
+	}
+}

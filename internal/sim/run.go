@@ -1,0 +1,128 @@
+package sim
+
+import (
+	"container/heap"
+
+	"refrint/internal/energy"
+	"refrint/internal/stats"
+)
+
+// Result is the outcome of one simulation run.
+type Result struct {
+	App    string
+	Policy string
+	// RetentionUS is the eDRAM retention time in microseconds (0 for SRAM).
+	RetentionUS float64
+	Stats       *stats.Stats
+	Energy      energy.Breakdown
+	// Cycles is the execution time (slowest core).
+	Cycles int64
+}
+
+// coreEntry orders cores by their local time in the run loop.
+type coreEntry struct {
+	tile int
+	time int64
+}
+
+type coreHeap []coreEntry
+
+func (h coreHeap) Len() int           { return len(h) }
+func (h coreHeap) Less(i, j int) bool { return h[i].time < h[j].time }
+func (h coreHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *coreHeap) Push(x any)        { *h = append(*h, x.(coreEntry)) }
+func (h *coreHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// Run executes the application to completion and returns the result.
+//
+// The run loop repeatedly picks the core with the smallest local clock,
+// lets it execute its compute gap and issue its next memory reference, and
+// resolves that reference atomically through the hierarchy.  Processing
+// cores in local-time order keeps the interleaving of references from
+// different cores consistent with their timing, which is what the refresh
+// policies and the coherence protocol observe.
+func (s *System) Run() Result {
+	h := make(coreHeap, 0, len(s.tiles))
+	for i := range s.tiles {
+		h = append(h, coreEntry{tile: i, time: 0})
+	}
+	heap.Init(&h)
+
+	for h.Len() > 0 {
+		entry := heap.Pop(&h).(coreEntry)
+		tile := s.tiles[entry.tile]
+		gen := s.app.Thread(entry.tile)
+
+		a, ok := gen.Next()
+		if !ok {
+			tile.Core.Finish()
+			continue
+		}
+		// Non-memory instructions preceding the reference.
+		tile.Core.Compute(a.Gap)
+		issueAt := tile.Core.Now()
+		doneAt := s.access(entry.tile, a, issueAt)
+		tile.Core.CompleteMemOp(doneAt)
+
+		heap.Push(&h, coreEntry{tile: entry.tile, time: tile.Core.Now()})
+	}
+
+	return s.finish()
+}
+
+// finish drains refresh work to the end of the run, performs the end-of-run
+// flush of dirty data, fills in the aggregate counters and computes energy.
+func (s *System) finish() Result {
+	// Execution time = slowest core.
+	var end int64
+	for i, tile := range s.tiles {
+		c := tile.Core.Now()
+		s.st.PerCoreCycles[i] = c
+		if c > end {
+			end = c
+		}
+	}
+	s.st.Cycles = end
+
+	// Refresh activity continues until the last core finishes.
+	for _, tile := range s.tiles {
+		tile.IL1.Drain(end)
+		tile.DL1.Drain(end)
+		tile.L2.Drain(end)
+		tile.L3.Drain(end)
+	}
+
+	// Instructions and memory operations.
+	for _, tile := range s.tiles {
+		s.st.Instructions += tile.Core.Instructions()
+		s.st.MemOps += tile.Core.MemOps()
+	}
+
+	// End-of-run flush: all dirty on-chip data is written back to DRAM
+	// (Section 6: "we assume that at the end of the simulation all dirty
+	// data will be written back to main memory").
+	if s.cfg.EndOfRunFlush {
+		for _, tile := range s.tiles {
+			s.st.FlushWritebacks += int64(len(tile.L2.Flush()))
+			s.st.FlushWritebacks += int64(len(tile.L3.Flush()))
+			tile.IL1.Flush()
+			tile.DL1.Flush()
+		}
+	}
+
+	model := energy.NewModel(energy.NewParameters(s.cfg))
+	breakdown := model.Compute(s.st)
+
+	retention := 0.0
+	if s.cfg.Cell.Refreshable() {
+		retention = float64(s.cfg.Cell.RetentionCycles) / float64(s.cfg.FreqMHz)
+	}
+	return Result{
+		App:         s.app.Params().Name,
+		Policy:      s.cfg.Policy.String(),
+		RetentionUS: retention,
+		Stats:       s.st,
+		Energy:      breakdown,
+		Cycles:      end,
+	}
+}

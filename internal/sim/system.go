@@ -1,0 +1,259 @@
+// Package sim assembles the complete simulated chip — cores, private IL1/DL1
+// and L2 caches, the banked shared L3 with its MESI directory, the torus
+// interconnect, the DRAM channel and the refresh controllers of package core
+// — and runs one application through it, producing the counters package
+// stats defines and the energy breakdown package energy computes from them.
+//
+// The memory model is transaction-atomic (DESIGN.md section 4.1): each
+// memory reference is resolved through the hierarchy in one pass, with
+// latencies accumulated from per-level access times, NoC hops, DRAM channel
+// contention and refresh-induced port blocking, and with all coherence and
+// inclusion side effects applied at resolution time.
+package sim
+
+import (
+	"fmt"
+
+	"refrint/internal/coherence"
+	"refrint/internal/config"
+	"refrint/internal/core"
+	"refrint/internal/cpu"
+	"refrint/internal/dram"
+	"refrint/internal/mem"
+	"refrint/internal/noc"
+	"refrint/internal/stats"
+	"refrint/internal/workload"
+)
+
+// Message payload sizes in bytes used for NoC traffic accounting.
+const (
+	ctrlMsgBytes = 8  // request, invalidation, ack
+	dataMsgBytes = 72 // 64-byte line + header
+)
+
+// Tile is one node of the chip: a core, its private caches and one bank of
+// the shared L3.
+type Tile struct {
+	Core *cpu.Core
+	IL1  *core.Bank
+	DL1  *core.Bank
+	L2   *core.Bank
+	L3   *core.Bank // the L3 bank co-located with this tile
+	Dir  *coherence.Directory
+}
+
+// System is the complete simulated chip running one application.
+type System struct {
+	cfg   config.Config
+	app   *workload.App
+	tiles []*Tile
+	net   *noc.Torus
+	mem   *dram.DRAM
+	geom  mem.LineGeometry
+	st    *stats.Stats
+
+	// l1l2Policy is the refresh policy private caches run: the paper always
+	// runs L1 and L2 with the Valid data policy and applies the swept data
+	// policy only at L3 (Section 6.2).
+	l1l2Policy config.Policy
+}
+
+// New builds a System for one application under one configuration.
+func New(cfg config.Config, app workload.Params, seed int64) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	if err := app.Validate(); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	params := workload.ForConfig(app, cfg)
+	if err := params.Validate(); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+
+	s := &System{
+		cfg:  cfg,
+		app:  workload.NewApp(params, cfg, seed),
+		net:  noc.New(cfg.NoC),
+		mem:  dram.New(cfg.DRAM),
+		geom: cfg.Geometry(),
+		st:   stats.New(cfg.Cores),
+	}
+	s.l1l2Policy = privatePolicy(cfg.Policy)
+
+	s.tiles = make([]*Tile, cfg.Cores)
+	for i := 0; i < cfg.Cores; i++ {
+		tile := &Tile{
+			Core: cpu.New(i, cfg.Core),
+			Dir:  coherence.New(cfg.Cores),
+		}
+		tile.IL1 = core.NewBank(cfg.IL1, cfg.Cell, s.l1l2Policy, stats.IL1, s.st, s.l1Hooks(i))
+		tile.DL1 = core.NewBank(cfg.DL1, cfg.Cell, s.l1l2Policy, stats.DL1, s.st, s.l1Hooks(i))
+		tile.L2 = core.NewBank(cfg.L2, cfg.Cell, s.l1l2Policy, stats.L2, s.st, s.l2Hooks(i))
+		tile.L3 = core.NewBank(cfg.L3, cfg.Cell, cfg.Policy, stats.L3, s.st, s.l3Hooks(i))
+		s.tiles[i] = tile
+	}
+	return s, nil
+}
+
+// privatePolicy returns the refresh policy the private (L1/L2) caches run
+// for a given L3 policy: same time-based component, Valid data policy
+// (except the SRAM baseline and the reference All policy, which apply
+// everywhere).
+func privatePolicy(l3 config.Policy) config.Policy {
+	switch {
+	case l3.Time == config.NoRefresh:
+		return l3
+	case l3.Data == config.AllData:
+		return config.Policy{Time: l3.Time, Data: config.AllData}
+	default:
+		return config.Policy{Time: l3.Time, Data: config.ValidData}
+	}
+}
+
+// Config returns the system configuration.
+func (s *System) Config() config.Config { return s.cfg }
+
+// Stats returns the counters accumulated so far.
+func (s *System) Stats() *stats.Stats { return s.st }
+
+// Workload returns the application parameters actually simulated (after any
+// preset scaling).
+func (s *System) Workload() workload.Params { return s.app.Params() }
+
+// Tile returns tile i (exported for white-box integration tests).
+func (s *System) Tile(i int) *Tile { return s.tiles[i] }
+
+// bankOf returns the L3 bank index a line maps to (line interleaving).
+func (s *System) bankOf(addr mem.LineAddr) int {
+	return int(uint64(addr) % uint64(s.cfg.L3.Banks))
+}
+
+// noc records one message on the network and returns its delivery latency.
+func (s *System) nocSend(src, dst, bytes int) int64 {
+	s.st.NoCMessages++
+	s.st.NoCHops += int64(s.net.Hops(src, dst))
+	s.st.NoCFlits += s.net.FlitHops(src, dst, bytes)
+	return s.net.Latency(src, dst, bytes)
+}
+
+// dramAccess performs one DRAM access starting at `now`, charges it to the
+// given access kind, and returns the completion cycle.
+func (s *System) dramAccess(now int64, write bool) int64 {
+	done := s.mem.Access(now)
+	if write {
+		s.st.Level(stats.DRAM).Writes++
+	} else {
+		s.st.Level(stats.DRAM).Reads++
+	}
+	return done
+}
+
+// --- Refresh-policy hooks --------------------------------------------------
+//
+// The hooks connect each bank's refresh policy to the rest of the hierarchy.
+// Refresh-initiated traffic does not stall any core (it proceeds in the
+// background), so hooks only account state, energy and message counters.
+
+// l1Hooks: L1 lines are never dirty (the DL1 is write-through and the IL1 is
+// read-only), so a policy invalidation needs no downstream work.
+func (s *System) l1Hooks(tileID int) core.Hooks {
+	return core.Hooks{
+		Writeback: func(addr mem.LineAddr, now int64) {
+			// Cannot happen for clean-only caches running the Valid policy;
+			// kept for configurations that run WB policies at L1.
+			s.writebackToL2(tileID, addr, now)
+		},
+		Invalidate: func(addr mem.LineAddr, wasDirty bool, now int64) {
+			// Nothing to do: inclusion is top-down (L2 invalidations remove
+			// L1 copies), and an L1-only invalidation has no lower-level
+			// effect.
+		},
+	}
+}
+
+// l2Hooks: an L2 policy writeback pushes dirty data into the home L3 bank;
+// an L2 policy invalidation must also remove the line from the tile's L1s
+// (inclusion) and tell the directory this core no longer holds it.
+func (s *System) l2Hooks(tileID int) core.Hooks {
+	return core.Hooks{
+		Writeback: func(addr mem.LineAddr, now int64) {
+			s.writebackToL3(tileID, addr, now)
+		},
+		Invalidate: func(addr mem.LineAddr, wasDirty bool, now int64) {
+			tile := s.tiles[tileID]
+			tile.IL1.Invalidate(addr, now)
+			tile.DL1.Invalidate(addr, now)
+			home := s.tiles[s.bankOf(addr)]
+			if wasDirty {
+				// Dirty data must reach the L3 before the copy disappears.
+				s.writebackToL3(tileID, addr, now)
+				home.Dir.SharerWroteBack(addr, tileID)
+			} else {
+				home.Dir.SharerEvicted(addr, tileID)
+			}
+		},
+	}
+}
+
+// l3Hooks: an L3 policy writeback pushes the line to DRAM; an L3 policy
+// invalidation (or decay) must invalidate every upper-level copy to keep the
+// hierarchy inclusive, writing back any dirty private copy to DRAM.
+func (s *System) l3Hooks(bankTile int) core.Hooks {
+	return core.Hooks{
+		Writeback: func(addr mem.LineAddr, now int64) {
+			s.dramAccess(now, true)
+		},
+		Invalidate: func(addr mem.LineAddr, wasDirty bool, now int64) {
+			home := s.tiles[bankTile]
+			act := home.Dir.InvalidateLine(addr)
+			for _, sharer := range act.InvalidateCores {
+				t := s.tiles[sharer]
+				l2Old, hadL2 := t.L2.Invalidate(addr, now)
+				t.IL1.Invalidate(addr, now)
+				t.DL1.Invalidate(addr, now)
+				s.st.CoherenceInvalidations++
+				s.nocSend(bankTile, sharer, ctrlMsgBytes)
+				if hadL2 && l2Old.Dirty() {
+					// The only up-to-date copy was above the L3: push it out
+					// to DRAM so no data is lost.
+					s.nocSend(sharer, bankTile, dataMsgBytes)
+					s.dramAccess(now, true)
+				}
+			}
+			if wasDirty {
+				// The L3 copy itself was dirty (possible only via decay).
+				s.dramAccess(now, true)
+			}
+		},
+	}
+}
+
+// writebackToL2 pushes a (rare) L1 policy writeback into the tile's L2.
+func (s *System) writebackToL2(tileID int, addr mem.LineAddr, now int64) {
+	tile := s.tiles[tileID]
+	if l, ok := tile.L2.Probe(addr, now); ok {
+		l.State = mem.Modified
+		tile.L2.Touch(l, now)
+		s.st.Level(stats.L2).Writes++
+	}
+}
+
+// writebackToL3 pushes dirty data from tile tileID's L2 into the line's home
+// L3 bank (used by L2 evictions, downgrades and L2 refresh-policy
+// writebacks).  The L3 copy becomes dirty with respect to DRAM.
+func (s *System) writebackToL3(tileID int, addr mem.LineAddr, now int64) {
+	bank := s.bankOf(addr)
+	home := s.tiles[bank]
+	s.nocSend(tileID, bank, dataMsgBytes)
+	s.st.Level(stats.L2).Writebacks++
+	if l, ok := home.L3.Probe(addr, now); ok {
+		l.State = mem.Modified
+		home.L3.Touch(l, now)
+		s.st.Level(stats.L3).Writes++
+		return
+	}
+	// Inclusion means the line should be present; if the refresh policy
+	// already dropped it, the data has to go all the way to memory.
+	s.dramAccess(now, true)
+}

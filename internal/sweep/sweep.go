@@ -1,0 +1,296 @@
+// Package sweep is the experiment harness: it runs the parameter sweep of
+// Table 5.4 (2 time policies x 7 data policies x 3 retention times, plus the
+// full-SRAM baseline) over the applications of Table 5.3, normalizes every
+// metric to the per-application SRAM baseline exactly as the paper does, and
+// produces the data series behind Table 6.1 and Figures 6.1-6.4.
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"refrint/internal/config"
+	"refrint/internal/sim"
+	"refrint/internal/workload"
+)
+
+// Options selects what the harness runs.
+type Options struct {
+	// Base is the architecture preset ("scaled" by default; "fullsize" for
+	// the paper's literal configuration).
+	Base config.Config
+	// Apps is the list of application names (default: all of Table 5.3).
+	Apps []string
+	// RetentionTimesUS restricts the retention times (default: 50/100/200).
+	RetentionTimesUS []float64
+	// Policies restricts the policies per retention time (default: the 14
+	// of Table 5.4).
+	Policies []config.Policy
+	// EffortScale further multiplies every application's per-thread memory
+	// operation count (1.0 = the preset's own size; benches use less).
+	EffortScale float64
+	// Seed makes the synthetic workloads deterministic.
+	Seed int64
+	// Workers bounds the number of concurrent simulations (default: NumCPU).
+	Workers int
+}
+
+// DefaultOptions returns the options used by cmd/refrint-sweep: the scaled
+// preset, every application, the full Table 5.4 sweep.
+func DefaultOptions() Options {
+	return Options{
+		Base:             config.Scaled(),
+		Apps:             workload.AppNames(),
+		RetentionTimesUS: config.RetentionTimesUS(),
+		Policies:         config.SweepPolicies(),
+		EffortScale:      1.0,
+		Seed:             1,
+		Workers:          runtime.NumCPU(),
+	}
+}
+
+// QuickOptions returns a reduced sweep used by benchmarks and integration
+// tests: one representative application per class and a quarter of the
+// per-thread work.  The figure shapes survive the reduction; only statistical
+// noise grows.
+func QuickOptions() Options {
+	o := DefaultOptions()
+	o.Apps = []string{"FFT", "LU", "Blackscholes"}
+	o.EffortScale = 0.25
+	return o
+}
+
+// normalise fills in defaults.
+func (o Options) normalise() Options {
+	if o.Base.Cores == 0 {
+		o.Base = config.Scaled()
+	}
+	if len(o.Apps) == 0 {
+		o.Apps = workload.AppNames()
+	}
+	if len(o.RetentionTimesUS) == 0 {
+		o.RetentionTimesUS = config.RetentionTimesUS()
+	}
+	if len(o.Policies) == 0 {
+		o.Policies = config.SweepPolicies()
+	}
+	if o.EffortScale <= 0 {
+		o.EffortScale = 1.0
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.NumCPU()
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// Point identifies one cell of the sweep: a policy at a retention time (or
+// the SRAM baseline when RetentionUS is zero).
+type Point struct {
+	RetentionUS float64
+	Policy      config.Policy
+}
+
+// IsBaseline reports whether the point is the SRAM baseline.
+func (p Point) IsBaseline() bool { return p.Policy.Time == config.NoRefresh }
+
+// Label renders the point the way the paper's figures label bars, e.g.
+// "R.WB(32,32)".
+func (p Point) Label() string { return p.Policy.String() }
+
+// Key is a stable map key for the point.
+func (p Point) Key() string {
+	if p.IsBaseline() {
+		return "SRAM"
+	}
+	return fmt.Sprintf("%s@%gus", p.Policy, p.RetentionUS)
+}
+
+// Run is one simulation outcome within the sweep.
+type Run struct {
+	App    string
+	Point  Point
+	Result sim.Result
+}
+
+// Results holds every run of a sweep, indexed for the figure generators.
+type Results struct {
+	Options Options
+	// Baselines maps application name to its SRAM baseline run.
+	Baselines map[string]Run
+	// Runs maps point key -> application name -> run.
+	Runs map[string]map[string]Run
+	// Points lists the non-baseline points in figure order.
+	Points []Point
+}
+
+// Execute runs the sweep described by the options.
+func Execute(opts Options) (*Results, error) {
+	opts = opts.normalise()
+
+	// Build the work list: the SRAM baseline plus every (retention, policy)
+	// combination, for every application.
+	type job struct {
+		app   string
+		point Point
+	}
+	var points []Point
+	for _, ret := range opts.RetentionTimesUS {
+		for _, p := range opts.Policies {
+			points = append(points, Point{RetentionUS: ret, Policy: p})
+		}
+	}
+	var jobs []job
+	for _, app := range opts.Apps {
+		jobs = append(jobs, job{app: app, point: Point{Policy: config.SRAMBaseline}})
+		for _, pt := range points {
+			jobs = append(jobs, job{app: app, point: pt})
+		}
+	}
+
+	res := &Results{
+		Options:   opts,
+		Baselines: make(map[string]Run),
+		Runs:      make(map[string]map[string]Run),
+		Points:    points,
+	}
+	for _, pt := range points {
+		res.Runs[pt.Key()] = make(map[string]Run)
+	}
+
+	var (
+		mu       sync.Mutex
+		wg       sync.WaitGroup
+		firstErr error
+		sem      = make(chan struct{}, opts.Workers)
+	)
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(j job) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			run, err := runOne(opts, j.app, j.point)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return
+			}
+			if j.point.IsBaseline() {
+				res.Baselines[j.app] = run
+			} else {
+				res.Runs[j.point.Key()][j.app] = run
+			}
+		}(j)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return res, nil
+}
+
+// runOne executes a single (application, point) simulation.
+func runOne(opts Options, appName string, pt Point) (Run, error) {
+	params, err := workload.Get(appName)
+	if err != nil {
+		return Run{}, err
+	}
+	params = applyEffort(params, opts.EffortScale)
+
+	cfg := opts.Base
+	if pt.IsBaseline() {
+		cfg = config.AsSRAM(cfg)
+	} else {
+		retention := pt.RetentionUS
+		if cfg.Name == "scaled" {
+			retention = config.ScaledRetentionUS(retention)
+		}
+		cfg = config.AsEDRAM(cfg, pt.Policy, retention)
+	}
+
+	system, err := sim.New(cfg, params, opts.Seed)
+	if err != nil {
+		return Run{}, fmt.Errorf("sweep: %s %s: %w", appName, pt.Key(), err)
+	}
+	result := system.Run()
+	result.RetentionUS = pt.RetentionUS // report the paper-scale retention
+	return Run{App: appName, Point: pt, Result: result}, nil
+}
+
+// applyEffort scales the per-thread work of an application.
+func applyEffort(p workload.Params, scale float64) workload.Params {
+	if scale == 1.0 {
+		return p
+	}
+	out := p
+	ops := int64(float64(p.MemOpsPerThread) * scale)
+	if ops < 1000 {
+		ops = 1000
+	}
+	out.MemOpsPerThread = ops
+	return out
+}
+
+// AppsByClass groups the sweep's applications by their paper class.
+func (r *Results) AppsByClass() map[workload.Class][]string {
+	out := make(map[workload.Class][]string)
+	for _, app := range r.Options.Apps {
+		p, err := workload.Get(app)
+		if err != nil {
+			continue
+		}
+		out[p.PaperClass] = append(out[p.PaperClass], app)
+	}
+	for _, apps := range out {
+		sort.Strings(apps)
+	}
+	return out
+}
+
+// PointsAt returns the sweep's points for one retention time, in figure
+// order.
+func (r *Results) PointsAt(retentionUS float64) []Point {
+	var out []Point
+	for _, p := range r.Points {
+		if p.RetentionUS == retentionUS {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// RetentionTimes returns the retention times present in the sweep, ascending.
+func (r *Results) RetentionTimes() []float64 {
+	seen := map[float64]bool{}
+	var out []float64
+	for _, p := range r.Points {
+		if !seen[p.RetentionUS] {
+			seen[p.RetentionUS] = true
+			out = append(out, p.RetentionUS)
+		}
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// Lookup returns the run of an application at a point (ok reports presence).
+func (r *Results) Lookup(app string, pt Point) (Run, bool) {
+	if pt.IsBaseline() {
+		run, ok := r.Baselines[app]
+		return run, ok
+	}
+	byApp, ok := r.Runs[pt.Key()]
+	if !ok {
+		return Run{}, false
+	}
+	run, ok := byApp[app]
+	return run, ok
+}

@@ -1,0 +1,42 @@
+package workload
+
+import (
+	"testing"
+
+	"refrint/internal/config"
+)
+
+// BenchmarkGeneratorNext measures the per-reference cost of the synthetic
+// workload generator (the simulator's input side).
+func BenchmarkGeneratorNext(b *testing.B) {
+	cfg := config.Scaled()
+	p, err := Get("LU")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p = ForConfig(p, cfg)
+	p.MemOpsPerThread = int64(b.N) + 1
+	g := NewGenerator(p, cfg, 0, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := g.Next(); !ok {
+			b.Fatal("generator ran dry")
+		}
+	}
+}
+
+// BenchmarkClassify measures the Figure 3.1 classification of every
+// application (used by Table 6.1).
+func BenchmarkClassify(b *testing.B) {
+	cfg := config.FullSize()
+	apps := Apps()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range apps {
+			if p.Classify(cfg) == ClassUnknown {
+				b.Fatal("unknown class")
+			}
+		}
+	}
+}

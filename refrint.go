@@ -1,0 +1,232 @@
+// Package refrint is the public API of the Refrint reproduction: a
+// simulator for intelligently-refreshed eDRAM multiprocessor cache
+// hierarchies, after "Refrint: Intelligent Refresh to Minimize Power in
+// On-Chip Multiprocessor Cache Hierarchies" (HPCA 2013).
+//
+// The package offers three levels of entry:
+//
+//   - Simulate runs one (application, policy, retention) configuration and
+//     returns its statistics and energy breakdown.
+//   - RunSweep runs the paper's full parameter sweep (Table 5.4) — or any
+//     subset — and returns the normalized data series behind Table 6.1 and
+//     Figures 6.1 to 6.4.
+//   - ParsePolicy / Applications / Presets expose the building blocks so
+//     callers can assemble custom experiments (see examples/customworkload).
+//
+// All simulation is deterministic for a given seed.
+package refrint
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"refrint/internal/config"
+	"refrint/internal/sim"
+	"refrint/internal/stats"
+	"refrint/internal/sweep"
+	"refrint/internal/workload"
+)
+
+// Re-exported result and data-series types.
+type (
+	// Result is the outcome of one simulation run.
+	Result = sim.Result
+	// SweepResults holds a full sweep and generates the figure series.
+	SweepResults = sweep.Results
+	// SweepOptions selects what a sweep runs.
+	SweepOptions = sweep.Options
+	// LevelEnergyBar is one bar of Figure 6.1.
+	LevelEnergyBar = sweep.LevelEnergyBar
+	// ComponentEnergyBar is one bar of Figure 6.2.
+	ComponentEnergyBar = sweep.ComponentEnergyBar
+	// ScalarBar is one bar of Figures 6.3 and 6.4.
+	ScalarBar = sweep.ScalarBar
+	// Table61Row is one row of the application-binning table.
+	Table61Row = sweep.Table61Row
+	// Policy is a refresh policy (time-based x data-based component).
+	Policy = config.Policy
+	// Config is a complete architecture configuration.
+	Config = config.Config
+	// WorkloadParams is the statistical description of an application.
+	WorkloadParams = workload.Params
+	// Stats holds the raw counters of one run (see Result.Stats).
+	Stats = stats.Stats
+	// StatsLevel identifies a cache level (or DRAM) in per-level counters.
+	StatsLevel = stats.Level
+)
+
+// Per-level counter identifiers, re-exported for use with Result.Stats.
+const (
+	StatsIL1  = stats.IL1
+	StatsDL1  = stats.DL1
+	StatsL2   = stats.L2
+	StatsL3   = stats.L3
+	StatsDRAM = stats.DRAM
+)
+
+// Retention times evaluated by the paper, in microseconds.
+const (
+	Retention50us  = config.Retention50us
+	Retention100us = config.Retention100us
+	Retention200us = config.Retention200us
+)
+
+// Applications returns the names of the benchmarks of Table 5.3.
+func Applications() []string { return workload.AppNames() }
+
+// Application returns the synthetic-workload parameters of a named
+// benchmark.
+func Application(name string) (WorkloadParams, error) { return workload.Get(name) }
+
+// Policies returns the 14 policies of the paper's sweep in figure order.
+func Policies() []Policy { return config.SweepPolicies() }
+
+// ParsePolicy parses a policy label as used in the paper's figures:
+// "SRAM", "P.all", "P.valid", "P.dirty", "R.all", "R.valid", "R.dirty",
+// "P.WB(n,m)" or "R.WB(n,m)".
+func ParsePolicy(label string) (Policy, error) {
+	s := strings.TrimSpace(label)
+	if strings.EqualFold(s, "SRAM") {
+		return config.SRAMBaseline, nil
+	}
+	var timePolicy config.TimePolicy
+	switch {
+	case strings.HasPrefix(s, "P."), strings.HasPrefix(s, "p."):
+		timePolicy = config.PeriodicTime
+	case strings.HasPrefix(s, "R."), strings.HasPrefix(s, "r."):
+		timePolicy = config.RefrintTime
+	default:
+		return Policy{}, fmt.Errorf("refrint: policy %q must start with P. or R. (or be SRAM)", label)
+	}
+	rest := s[2:]
+	switch strings.ToLower(rest) {
+	case "all":
+		return Policy{Time: timePolicy, Data: config.AllData}, nil
+	case "valid":
+		return Policy{Time: timePolicy, Data: config.ValidData}, nil
+	case "dirty":
+		return Policy{Time: timePolicy, Data: config.DirtyData}, nil
+	}
+	if strings.HasPrefix(strings.ToUpper(rest), "WB(") && strings.HasSuffix(rest, ")") {
+		inner := rest[3 : len(rest)-1]
+		parts := strings.Split(inner, ",")
+		if len(parts) != 2 {
+			return Policy{}, fmt.Errorf("refrint: malformed WB policy %q", label)
+		}
+		n, err1 := strconv.Atoi(strings.TrimSpace(parts[0]))
+		m, err2 := strconv.Atoi(strings.TrimSpace(parts[1]))
+		if err1 != nil || err2 != nil || n < 0 || m < 0 {
+			return Policy{}, fmt.Errorf("refrint: malformed WB budgets in %q", label)
+		}
+		return config.WB(timePolicy, n, m), nil
+	}
+	return Policy{}, fmt.Errorf("refrint: unknown data policy in %q", label)
+}
+
+// Preset returns a named architecture preset: "scaled" (default; the
+// time-compressed configuration used by tests and benchmarks) or "fullsize"
+// (the paper's Table 5.1 configuration).
+func Preset(name string) (Config, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "", "scaled":
+		return config.Scaled(), nil
+	case "fullsize", "full", "paper":
+		return config.FullSize(), nil
+	default:
+		return Config{}, fmt.Errorf("refrint: unknown preset %q (want scaled or fullsize)", name)
+	}
+}
+
+// SimRequest describes one simulation for Simulate.
+type SimRequest struct {
+	// App is an application name from Applications(), or empty to use
+	// Workload below.
+	App string
+	// Workload lets callers supply custom workload parameters instead of a
+	// named application.
+	Workload *WorkloadParams
+	// Policy is a policy label understood by ParsePolicy ("SRAM" for the
+	// baseline).
+	Policy string
+	// RetentionUS is the eDRAM retention time in microseconds (paper scale;
+	// ignored for SRAM).
+	RetentionUS float64
+	// Preset is "scaled" (default) or "fullsize".
+	Preset string
+	// EffortScale multiplies the workload length (default 1.0).
+	EffortScale float64
+	// Seed drives the synthetic workload (default 1).
+	Seed int64
+}
+
+// Simulate runs one configuration to completion.
+func Simulate(req SimRequest) (Result, error) {
+	cfg, err := Preset(req.Preset)
+	if err != nil {
+		return Result{}, err
+	}
+	policy, err := ParsePolicy(req.Policy)
+	if err != nil {
+		return Result{}, err
+	}
+	retention := req.RetentionUS
+	if retention == 0 {
+		retention = Retention50us
+	}
+	if policy.Time == config.NoRefresh {
+		cfg = config.AsSRAM(cfg)
+	} else {
+		r := retention
+		if cfg.Name == "scaled" {
+			r = config.ScaledRetentionUS(r)
+		}
+		cfg = config.AsEDRAM(cfg, policy, r)
+	}
+
+	var params WorkloadParams
+	if req.Workload != nil {
+		params = *req.Workload
+	} else {
+		app := req.App
+		if app == "" {
+			app = "FFT"
+		}
+		params, err = workload.Get(app)
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	if req.EffortScale > 0 && req.EffortScale != 1.0 {
+		ops := int64(float64(params.MemOpsPerThread) * req.EffortScale)
+		if ops < 1000 {
+			ops = 1000
+		}
+		params.MemOpsPerThread = ops
+	}
+	seed := req.Seed
+	if seed == 0 {
+		seed = 1
+	}
+
+	system, err := sim.New(cfg, params, seed)
+	if err != nil {
+		return Result{}, err
+	}
+	res := system.Run()
+	if policy.Time != config.NoRefresh {
+		res.RetentionUS = retention
+	}
+	return res, nil
+}
+
+// DefaultSweep returns the options for the paper's full Table 5.4 sweep on
+// the scaled preset.
+func DefaultSweep() SweepOptions { return sweep.DefaultOptions() }
+
+// QuickSweep returns a reduced sweep (one application per class, shorter
+// runs) that preserves the figure shapes; used by the benchmarks.
+func QuickSweep() SweepOptions { return sweep.QuickOptions() }
+
+// RunSweep executes a sweep and returns its results.
+func RunSweep(opts SweepOptions) (*SweepResults, error) { return sweep.Execute(opts) }
