@@ -1,0 +1,81 @@
+// Command refrint-serve runs the Refrint sweep service: an HTTP API that
+// accepts sweep jobs, executes them on a bounded sharded worker pool, caches
+// results by canonical sweep key, and serves the paper's Table 6.1 and
+// Figure 6.1-6.4 data series as JSON.
+//
+// Quickstart:
+//
+//	refrint-serve -addr :8080 &
+//	curl -s -X POST localhost:8080/v1/sweeps \
+//	     -d '{"apps":["FFT","LU"],"retention_times_us":[50],"effort_scale":0.25}'
+//	curl -s localhost:8080/v1/sweeps/job-000001            # poll progress
+//	curl -s localhost:8080/v1/sweeps/job-000001/figures    # figure series
+//	curl -s -X DELETE localhost:8080/v1/sweeps/job-000001  # cancel
+//	curl -s localhost:8080/v1/sims                         # catalog
+//	curl -s localhost:8080/healthz
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"refrint/internal/server"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		shards       = flag.Int("shards", 2, "worker shards (concurrent sweeps)")
+		queueDepth   = flag.Int("queue-depth", 8, "pending sweeps per shard")
+		cacheEntries = flag.Int("cache", 32, "completed sweeps kept for reuse")
+		sweepWorkers = flag.Int("sweep-workers", 0, "simulation concurrency per sweep (0 = NumCPU/shards)")
+		jobHistory   = flag.Int("job-history", 1024, "finished jobs kept pollable")
+	)
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "refrint-serve: ", log.LstdFlags)
+	svc := server.New(server.Config{
+		Shards:       *shards,
+		QueueDepth:   *queueDepth,
+		CacheEntries: *cacheEntries,
+		SweepWorkers: *sweepWorkers,
+		JobHistory:   *jobHistory,
+		Logf:         logger.Printf,
+	})
+	defer svc.Close()
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           svc,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() {
+		logger.Printf("listening on %s", *addr)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "refrint-serve:", err)
+			os.Exit(1)
+		}
+	case <-ctx.Done():
+		logger.Printf("shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = httpSrv.Shutdown(shutdownCtx)
+	}
+}

@@ -1,0 +1,3 @@
+module refrint
+
+go 1.22

@@ -1,6 +1,10 @@
 package config
 
-import "fmt"
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
 
 // TimePolicy is the time-based component of a refresh policy (Table 3.1):
 // it decides WHEN lines are refreshed.
@@ -110,6 +114,67 @@ func (p Policy) String() string {
 		return fmt.Sprintf("%s.WB(%d,%d)", p.Time, p.N, p.M)
 	}
 	return fmt.Sprintf("%s.%s", p.Time, p.Data)
+}
+
+// ParsePolicyLabel parses a policy label as used in the paper's figures:
+// "SRAM", "P.all", "P.valid", "P.dirty", "R.all", "R.valid", "R.dirty",
+// "P.WB(n,m)" or "R.WB(n,m)".  It is the inverse of Policy.String.
+func ParsePolicyLabel(label string) (Policy, error) {
+	s := strings.TrimSpace(label)
+	if strings.EqualFold(s, "SRAM") {
+		return SRAMBaseline, nil
+	}
+	var timePolicy TimePolicy
+	switch {
+	case strings.HasPrefix(s, "P."), strings.HasPrefix(s, "p."):
+		timePolicy = PeriodicTime
+	case strings.HasPrefix(s, "R."), strings.HasPrefix(s, "r."):
+		timePolicy = RefrintTime
+	default:
+		return Policy{}, fmt.Errorf("config: policy %q must start with P. or R. (or be SRAM)", label)
+	}
+	rest := s[2:]
+	switch strings.ToLower(rest) {
+	case "all":
+		return Policy{Time: timePolicy, Data: AllData}, nil
+	case "valid":
+		return Policy{Time: timePolicy, Data: ValidData}, nil
+	case "dirty":
+		return Policy{Time: timePolicy, Data: DirtyData}, nil
+	}
+	if strings.HasPrefix(strings.ToUpper(rest), "WB(") && strings.HasSuffix(rest, ")") {
+		inner := rest[3 : len(rest)-1]
+		parts := strings.Split(inner, ",")
+		if len(parts) != 2 {
+			return Policy{}, fmt.Errorf("config: malformed WB policy %q", label)
+		}
+		n, err1 := strconv.Atoi(strings.TrimSpace(parts[0]))
+		m, err2 := strconv.Atoi(strings.TrimSpace(parts[1]))
+		if err1 != nil || err2 != nil || n < 0 || m < 0 {
+			return Policy{}, fmt.Errorf("config: malformed WB budgets in %q", label)
+		}
+		return WB(timePolicy, n, m), nil
+	}
+	return Policy{}, fmt.Errorf("config: unknown data policy in %q", label)
+}
+
+// MarshalText encodes the policy as its paper label, so JSON requests and
+// responses carry "R.WB(32,32)" rather than numeric enum values.
+func (p Policy) MarshalText() ([]byte, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return []byte(p.String()), nil
+}
+
+// UnmarshalText parses a paper label, inverting MarshalText.
+func (p *Policy) UnmarshalText(text []byte) error {
+	parsed, err := ParsePolicyLabel(string(text))
+	if err != nil {
+		return err
+	}
+	*p = parsed
+	return nil
 }
 
 // Validate reports policy construction errors.

@@ -1,0 +1,103 @@
+package report
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"refrint/internal/config"
+	"refrint/internal/sweep"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files from current output")
+
+// goldenSweep runs the reference sweep (QuickOptions, seed 1) once per test
+// binary.
+var goldenSweep = sync.OnceValues(func() (*sweep.Results, error) {
+	return sweep.Execute(sweep.QuickOptions())
+})
+
+// TestGoldenReport pins the full plain-text report — the static chapter
+// tables plus every rendered figure series of the QuickOptions sweep — so
+// neither the formatting nor the numbers behind Table 6.1 / Figures 6.1-6.4
+// can drift silently.
+func TestGoldenReport(t *testing.T) {
+	res, err := goldenSweep()
+	if err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+
+	var b strings.Builder
+	b.WriteString(Table31())
+	b.WriteString("\n")
+	b.WriteString(Table51(config.Scaled()))
+	b.WriteString("\n")
+	b.WriteString(Table52())
+	b.WriteString("\n")
+	b.WriteString(Table53())
+	b.WriteString("\n")
+	b.WriteString(Table54())
+	b.WriteString("\n")
+	b.WriteString(Table61(res.Table61()))
+	b.WriteString("\n")
+	b.WriteString(Figure61(res.Figure61()))
+	for _, sel := range sweep.FigureSelectors {
+		b.WriteString("\n")
+		b.WriteString(Figure62(sel, res.Figure62(sel)))
+	}
+	for _, sel := range sweep.FigureSelectors {
+		b.WriteString("\n")
+		b.WriteString(FigureScalar("Figure 6.3: Total energy", sel, res.Figure63(sel)))
+		b.WriteString("\n")
+		b.WriteString(FigureScalar("Figure 6.4: Execution time", sel, res.Figure64(sel)))
+	}
+
+	compareGolden(t, "report_quick.golden", []byte(b.String()))
+}
+
+// TestGoldenCSV pins the CSV renderings of every figure series.
+func TestGoldenCSV(t *testing.T) {
+	res, err := goldenSweep()
+	if err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	var b strings.Builder
+	b.WriteString("# figure61\n")
+	b.WriteString(Figure61CSV(res.Figure61()))
+	b.WriteString("# figure62 all\n")
+	b.WriteString(Figure62CSV(res.Figure62("all")))
+	b.WriteString("# figure63 all\n")
+	b.WriteString(ScalarCSV("total_energy", res.Figure63("all")))
+	b.WriteString("# figure64 all\n")
+	b.WriteString(ScalarCSV("execution_time", res.Figure64("all")))
+
+	compareGolden(t, "csv_quick.golden", []byte(b.String()))
+}
+
+// compareGolden checks got against the named golden file, rewriting the file
+// under -update.
+func compareGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatalf("mkdir testdata: %v", err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatalf("update %s: %v", path, err)
+		}
+		t.Logf("updated %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read %s (run `go test ./internal/report -run TestGolden -update` to create it): %v", path, err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden file (%d vs %d bytes); regenerate with -update and review the diff", name, len(got), len(want))
+	}
+}

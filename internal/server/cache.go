@@ -1,0 +1,96 @@
+package server
+
+import (
+	"context"
+
+	"refrint"
+	"refrint/internal/sweep"
+)
+
+// entry is one shared sweep execution: the singleflight unit that any number
+// of jobs with the same canonical key attach to.  After it completes
+// successfully it doubles as the cache record for that key.  All fields
+// except ctx/cancel are guarded by the server mutex.
+type entry struct {
+	key    string
+	opts   sweep.Options
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	state State // queued → running → done | failed | cancelled
+	done  int   // simulations completed
+	total int   // simulations in the sweep
+	res   *refrint.SweepResults
+	err   error
+
+	jobs []*Job // every job ever attached (including cancelled ones)
+	refs int    // attached jobs still waiting for the result
+}
+
+// resultCache indexes executions by canonical sweep key.  It holds both
+// in-flight entries (for singleflight deduplication) and completed ones (for
+// result reuse), evicting the oldest completed entries beyond the capacity.
+// Not safe for concurrent use: the server mutex guards it.
+type resultCache struct {
+	max       int
+	entries   map[string]*entry
+	completed []string // successfully-completed keys in completion order
+}
+
+func newResultCache(max int) *resultCache {
+	return &resultCache{max: max, entries: make(map[string]*entry)}
+}
+
+// lookup returns the usable entry for a key, if any.  An entry whose context
+// is already cancelled is dead — its execution will never produce a result —
+// so it is not returned and a caller should start a fresh one.
+func (c *resultCache) lookup(key string) (*entry, bool) {
+	e, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	if e.state != StateDone && e.ctx.Err() != nil {
+		return nil, false
+	}
+	return e, true
+}
+
+// put registers a new in-flight entry.
+func (c *resultCache) put(e *entry) { c.entries[e.key] = e }
+
+// markCompleted records a successful completion, evicting the oldest
+// completed entries beyond capacity.
+func (c *resultCache) markCompleted(e *entry) {
+	if c.entries[e.key] != e {
+		return // superseded by a newer execution of the same key
+	}
+	c.completed = append(c.completed, e.key)
+	for c.max > 0 && len(c.completed) > c.max {
+		oldest := c.completed[0]
+		c.completed = c.completed[1:]
+		if old, ok := c.entries[oldest]; ok && old.state == StateDone {
+			delete(c.entries, oldest)
+		}
+	}
+}
+
+// drop removes an entry that will never yield a result (failed or
+// cancelled), so the next identical submission re-executes.  Identity is
+// checked: a newer entry under the same key is left alone.
+func (c *resultCache) drop(e *entry) {
+	if c.entries[e.key] == e {
+		delete(c.entries, e.key)
+	}
+}
+
+// stats returns how many entries are cached (done) and in flight.
+func (c *resultCache) stats() (cached, inflight int) {
+	for _, e := range c.entries {
+		if e.state == StateDone {
+			cached++
+		} else {
+			inflight++
+		}
+	}
+	return
+}

@@ -1,0 +1,114 @@
+// Package server turns the Refrint sweep harness into a long-running
+// service: an HTTP API over a bounded job queue, a sharded worker pool that
+// executes sweeps via sweep.ExecuteContext, and a keyed result cache that
+// deduplicates identical submissions (singleflight), so any number of
+// clients asking for the same sweep cost one simulation run.
+//
+// Job lifecycle:
+//
+//	queued ──▶ running ──▶ done
+//	   │          │   └──▶ failed
+//	   └──────────┴──────▶ cancelled
+//
+// Jobs are the client-visible unit; executions are shared.  Two jobs whose
+// requests have the same canonical key (sweep.Options.Key) attach to one
+// execution entry, and a job submitted after that entry completed is served
+// from the result cache without running anything.
+package server
+
+import (
+	"time"
+
+	"refrint"
+)
+
+// State is the lifecycle state of a job.
+type State string
+
+// Job lifecycle states.
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Job is one client submission.  All mutable fields are guarded by the
+// server mutex; handlers read them through snapshot() only.
+type Job struct {
+	id      string
+	key     string
+	request refrint.SweepRequest
+	entry   *entry // the shared execution this job is attached to
+
+	state     State
+	cacheHit  bool // completed from an already-cached result
+	err       error
+	createdAt time.Time
+	startedAt time.Time // zero until running
+	endedAt   time.Time // zero until terminal
+}
+
+// ProgressView is the serialized completion state of a job.
+type ProgressView struct {
+	// Done and Total count simulations within the sweep.
+	Done  int `json:"done"`
+	Total int `json:"total"`
+	// Percent is 100*Done/Total, rounded down.
+	Percent int `json:"percent"`
+}
+
+// JobView is the JSON form of a job returned by the API.
+type JobView struct {
+	ID       string               `json:"id"`
+	Key      string               `json:"key"`
+	State    State                `json:"state"`
+	CacheHit bool                 `json:"cache_hit"`
+	Progress ProgressView         `json:"progress"`
+	Error    string               `json:"error,omitempty"`
+	Request  refrint.SweepRequest `json:"request"`
+
+	CreatedAt  time.Time  `json:"created_at"`
+	StartedAt  *time.Time `json:"started_at,omitempty"`
+	FinishedAt *time.Time `json:"finished_at,omitempty"`
+}
+
+// snapshot renders the job for the API.  Caller holds the server mutex.
+func (j *Job) snapshot() JobView {
+	v := JobView{
+		ID:        j.id,
+		Key:       j.key,
+		State:     j.state,
+		CacheHit:  j.cacheHit,
+		Request:   j.request,
+		CreatedAt: j.createdAt,
+	}
+	if j.entry != nil {
+		done, total := j.entry.done, j.entry.total
+		if j.state == StateDone {
+			done = total
+		}
+		v.Progress = ProgressView{Done: done, Total: total}
+		if total > 0 {
+			v.Progress.Percent = 100 * done / total
+		}
+	}
+	if j.err != nil {
+		v.Error = j.err.Error()
+	}
+	if !j.startedAt.IsZero() {
+		t := j.startedAt
+		v.StartedAt = &t
+	}
+	if !j.endedAt.IsZero() {
+		t := j.endedAt
+		v.FinishedAt = &t
+	}
+	return v
+}

@@ -1,0 +1,66 @@
+package server
+
+import (
+	"hash/fnv"
+	"sync"
+)
+
+// pool is the sharded worker pool.  Each shard is one goroutine draining its
+// own bounded queue; an execution is assigned to a shard by hashing its
+// canonical key, so repeated submissions of the same sweep land on the same
+// shard and total queued work is bounded by shards x depth.
+type pool struct {
+	shards []chan *entry
+	wg     sync.WaitGroup
+}
+
+// newPool starts shards goroutines, each running run for every entry popped
+// from its queue of the given depth.
+func newPool(shards, depth int, run func(*entry)) *pool {
+	p := &pool{shards: make([]chan *entry, shards)}
+	for i := range p.shards {
+		ch := make(chan *entry, depth)
+		p.shards[i] = ch
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for e := range ch {
+				run(e)
+			}
+		}()
+	}
+	return p
+}
+
+// submit enqueues an execution on its key's shard without blocking.  It
+// reports false when that shard's queue is full (the caller turns this into
+// HTTP 503).
+func (p *pool) submit(e *entry) bool {
+	h := fnv.New32a()
+	h.Write([]byte(e.key))
+	ch := p.shards[int(h.Sum32())%len(p.shards)]
+	select {
+	case ch <- e:
+		return true
+	default:
+		return false
+	}
+}
+
+// queued returns the number of executions waiting in queues.
+func (p *pool) queued() int {
+	n := 0
+	for _, ch := range p.shards {
+		n += len(ch)
+	}
+	return n
+}
+
+// close stops the shards after the queues drain.  Submit must not be called
+// after close.
+func (p *pool) close() {
+	for _, ch := range p.shards {
+		close(ch)
+	}
+	p.wg.Wait()
+}

@@ -1,0 +1,514 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"refrint"
+	"refrint/internal/config"
+	"refrint/internal/sweep"
+	"refrint/internal/workload"
+)
+
+// ExecuteFunc runs one sweep.  The default is sweep.ExecuteContext; tests
+// substitute instrumented implementations to count runs and control timing.
+type ExecuteFunc func(ctx context.Context, opts sweep.Options, progress func(sweep.Progress)) (*refrint.SweepResults, error)
+
+// Config tunes the service.  The zero value is usable.
+type Config struct {
+	// Shards is the number of worker goroutines (default 2).  Each shard
+	// runs one sweep at a time; a sweep itself parallelizes internally.
+	Shards int
+	// QueueDepth bounds the pending executions per shard (default 8).
+	// Submissions beyond shards*(1+depth) in-flight sweeps get HTTP 503.
+	QueueDepth int
+	// CacheEntries bounds how many completed sweeps are kept for reuse
+	// (default 32).
+	CacheEntries int
+	// JobHistory bounds how many finished jobs remain pollable (default
+	// 1024).  The oldest terminal jobs beyond the bound are forgotten —
+	// along with their grip on cached results — so a long-running service
+	// does not grow without bound.
+	JobHistory int
+	// SweepWorkers caps the intra-sweep simulation concurrency per job
+	// (default: NumCPU divided by Shards, at least 1), so concurrent jobs
+	// do not oversubscribe the machine.
+	SweepWorkers int
+	// Execute runs a sweep (default sweep.ExecuteContext).
+	Execute ExecuteFunc
+	// Logf, when set, receives one line per job state transition.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 8
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 32
+	}
+	if c.JobHistory <= 0 {
+		c.JobHistory = 1024
+	}
+	if c.SweepWorkers <= 0 {
+		c.SweepWorkers = max(1, runtime.NumCPU()/c.Shards)
+	}
+	if c.Execute == nil {
+		c.Execute = func(ctx context.Context, opts sweep.Options, progress func(sweep.Progress)) (*refrint.SweepResults, error) {
+			return sweep.ExecuteContext(ctx, opts, progress)
+		}
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// Server is the sweep service.  It implements http.Handler.
+type Server struct {
+	cfg  Config
+	mux  *http.ServeMux
+	pool *pool
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	// mu guards jobs, jobOrder, cache, nextID, closed and every mutable
+	// Job/entry field.
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	jobOrder []string
+	cache    *resultCache
+	nextID   int
+	closed   bool
+}
+
+// New builds a server and starts its worker pool.  Call Close to stop it.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		mux:   http.NewServeMux(),
+		jobs:  make(map[string]*Job),
+		cache: newResultCache(cfg.CacheEntries),
+	}
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	s.pool = newPool(cfg.Shards, cfg.QueueDepth, s.runEntry)
+
+	s.mux.HandleFunc("POST /v1/sweeps", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/sweeps", s.handleListJobs)
+	s.mux.HandleFunc("GET /v1/sweeps/{id}", s.handleGetJob)
+	s.mux.HandleFunc("DELETE /v1/sweeps/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /v1/sweeps/{id}/figures", s.handleFigures)
+	s.mux.HandleFunc("GET /v1/sweeps/{id}/results", s.handleResults)
+	s.mux.HandleFunc("GET /v1/sims", s.handleSims)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Close cancels every in-flight execution and stops the workers.  Pending
+// queue entries are drained (and observed cancelled) before Close returns.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.baseCancel()
+	s.pool.close()
+}
+
+// runEntry executes one shared sweep on a worker shard.
+func (s *Server) runEntry(e *entry) {
+	s.mu.Lock()
+	if e.ctx.Err() != nil || e.state.Terminal() {
+		// Cancelled while still queued (or the server is closing).
+		s.finishLocked(e, nil, context.Canceled)
+		s.mu.Unlock()
+		return
+	}
+	e.state = StateRunning
+	now := time.Now()
+	for _, j := range e.jobs {
+		if j.state == StateQueued {
+			j.state = StateRunning
+			j.startedAt = now
+		}
+	}
+	s.mu.Unlock()
+	s.cfg.Logf("sweep %s: running (%d sims)", e.key, e.total)
+
+	res, err := s.cfg.Execute(e.ctx, e.opts, func(p sweep.Progress) {
+		s.mu.Lock()
+		if p.Done > e.done {
+			e.done = p.Done
+		}
+		if p.Total > 0 {
+			e.total = p.Total
+		}
+		s.mu.Unlock()
+	})
+
+	s.mu.Lock()
+	s.finishLocked(e, res, err)
+	s.mu.Unlock()
+}
+
+// finishLocked moves an execution and its attached jobs to a terminal state.
+// Caller holds the server mutex.
+func (s *Server) finishLocked(e *entry, res *refrint.SweepResults, err error) {
+	if e.state.Terminal() {
+		return
+	}
+	now := time.Now()
+	switch {
+	case err == nil:
+		e.state = StateDone
+		e.res = res
+		e.done = e.total
+		s.cache.markCompleted(e)
+		s.cfg.Logf("sweep %s: done", e.key)
+	case errors.Is(err, context.Canceled) || e.ctx.Err() != nil:
+		e.state = StateCancelled
+		e.err = context.Canceled
+		s.cache.drop(e)
+		s.cfg.Logf("sweep %s: cancelled", e.key)
+	default:
+		e.state = StateFailed
+		e.err = err
+		s.cache.drop(e)
+		s.cfg.Logf("sweep %s: failed: %v", e.key, err)
+	}
+	for _, j := range e.jobs {
+		if j.state.Terminal() {
+			continue
+		}
+		j.state = e.state
+		j.err = e.err
+		j.endedAt = now
+		if j.startedAt.IsZero() && e.state == StateDone {
+			j.startedAt = now
+		}
+	}
+	e.cancel() // release the context's resources in every path
+}
+
+// --- HTTP handlers ---
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// handleSubmit implements POST /v1/sweeps: parse the request, attach to an
+// existing execution of the same sweep if one is in flight or cached
+// (singleflight), otherwise enqueue a fresh execution.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req refrint.SweepRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid request body: %v", err)
+		return
+	}
+	opts, err := req.Options()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if s.cfg.SweepWorkers > 0 && opts.Workers > s.cfg.SweepWorkers {
+		opts.Workers = s.cfg.SweepWorkers
+	}
+	key := opts.Key()
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	}
+	s.nextID++
+	job := &Job{
+		id:        fmt.Sprintf("job-%06d", s.nextID),
+		key:       key,
+		request:   req,
+		state:     StateQueued,
+		createdAt: time.Now(),
+	}
+
+	status := http.StatusAccepted
+	if e, ok := s.cache.lookup(key); ok {
+		// Singleflight: ride the execution already in flight, or serve the
+		// cached result outright.
+		job.entry = e
+		switch e.state {
+		case StateDone:
+			// Served from cache: the job is born terminal and is not
+			// attached to e.jobs (finishLocked already ran; attaching
+			// would only pin the job in memory for the cache's lifetime).
+			job.state = StateDone
+			job.cacheHit = true
+			job.startedAt = job.createdAt
+			job.endedAt = job.createdAt
+			status = http.StatusOK
+		case StateRunning:
+			e.jobs = append(e.jobs, job)
+			job.state = StateRunning
+			job.startedAt = job.createdAt
+			e.refs++
+		default:
+			e.jobs = append(e.jobs, job)
+			e.refs++
+		}
+	} else {
+		ctx, cancel := context.WithCancel(s.baseCtx)
+		e := &entry{
+			key:    key,
+			opts:   opts,
+			ctx:    ctx,
+			cancel: cancel,
+			state:  StateQueued,
+			total:  opts.Size(),
+			jobs:   []*Job{job},
+			refs:   1,
+		}
+		job.entry = e
+		if !s.pool.submit(e) {
+			s.mu.Unlock()
+			cancel()
+			writeError(w, http.StatusServiceUnavailable, "job queue is full, retry later")
+			return
+		}
+		s.cache.put(e)
+		s.cfg.Logf("sweep %s: queued (%d sims)", key, e.total)
+	}
+	s.jobs[job.id] = job
+	s.jobOrder = append(s.jobOrder, job.id)
+	s.evictJobsLocked()
+	view := job.snapshot()
+	s.mu.Unlock()
+
+	w.Header().Set("Location", "/v1/sweeps/"+view.ID)
+	writeJSON(w, status, view)
+}
+
+// evictJobsLocked forgets the oldest terminal jobs beyond the history
+// bound, releasing their references to (possibly cache-evicted) results.
+// Live jobs are never evicted.  Caller holds the server mutex.
+func (s *Server) evictJobsLocked() {
+	excess := len(s.jobOrder) - s.cfg.JobHistory
+	if excess <= 0 {
+		return
+	}
+	kept := s.jobOrder[:0]
+	for _, id := range s.jobOrder {
+		if excess > 0 && s.jobs[id].state.Terminal() {
+			delete(s.jobs, id)
+			excess--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.jobOrder = kept
+}
+
+// lookupJob resolves {id} for the per-job handlers.
+func (s *Server) lookupJob(w http.ResponseWriter, r *http.Request) (*Job, bool) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	job, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, "no job %q", id)
+		return nil, false
+	}
+	return job, true
+}
+
+// handleGetJob implements GET /v1/sweeps/{id}: the poll endpoint.
+func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.lookupJob(w, r)
+	if !ok {
+		return
+	}
+	s.mu.Lock()
+	view := job.snapshot()
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, view)
+}
+
+// handleListJobs implements GET /v1/sweeps: every job, oldest first.
+func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	views := make([]JobView, 0, len(s.jobOrder))
+	for _, id := range s.jobOrder {
+		views = append(views, s.jobs[id].snapshot())
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, struct {
+		Jobs []JobView `json:"jobs"`
+	}{Jobs: views})
+}
+
+// handleCancel implements DELETE /v1/sweeps/{id}.  Cancelling the last
+// interested job aborts the underlying sweep; earlier cancellations only
+// detach that job.
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.lookupJob(w, r)
+	if !ok {
+		return
+	}
+	s.mu.Lock()
+	if job.state.Terminal() {
+		view := job.snapshot()
+		s.mu.Unlock()
+		writeJSON(w, http.StatusOK, view)
+		return
+	}
+	job.state = StateCancelled
+	job.err = context.Canceled
+	job.endedAt = time.Now()
+	e := job.entry
+	e.refs--
+	abort := e.refs <= 0 && !e.state.Terminal()
+	if abort {
+		s.cache.drop(e) // no new jobs may attach to a doomed execution
+	}
+	view := job.snapshot()
+	s.mu.Unlock()
+	if abort {
+		e.cancel()
+		s.cfg.Logf("sweep %s: cancel requested", e.key)
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+// handleFigures implements GET /v1/sweeps/{id}/figures: the Table 6.1 and
+// Figures 6.1-6.4 data series of a completed sweep.
+func (s *Server) handleFigures(w http.ResponseWriter, r *http.Request) {
+	res, ok := s.completedResults(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, res.FiguresExport())
+}
+
+// handleResults implements GET /v1/sweeps/{id}/results: the raw per-run
+// export of a completed sweep (the same payload refrint-sweep can archive).
+func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
+	res, ok := s.completedResults(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, res.Export())
+}
+
+// completedResults fetches the results behind a job, rejecting jobs that are
+// not (yet) done.
+func (s *Server) completedResults(w http.ResponseWriter, r *http.Request) (*refrint.SweepResults, bool) {
+	job, ok := s.lookupJob(w, r)
+	if !ok {
+		return nil, false
+	}
+	s.mu.Lock()
+	state := job.state
+	var res *refrint.SweepResults
+	if job.entry != nil {
+		res = job.entry.res
+	}
+	s.mu.Unlock()
+	if state != StateDone || res == nil {
+		writeError(w, http.StatusConflict, "job %s is %s, not done", job.id, state)
+		return nil, false
+	}
+	return res, true
+}
+
+// simCatalog is the payload of GET /v1/sims.
+type simCatalog struct {
+	Applications     []simApp  `json:"applications"`
+	Policies         []string  `json:"policies"`
+	RetentionTimesUS []float64 `json:"retention_times_us"`
+	Presets          []string  `json:"presets"`
+}
+
+type simApp struct {
+	Name  string `json:"name"`
+	Suite string `json:"suite"`
+	Input string `json:"input"`
+	Class string `json:"class"`
+}
+
+// handleSims implements GET /v1/sims: the catalog of everything a sweep
+// request may reference — applications, policy labels, retention times and
+// presets.
+func (s *Server) handleSims(w http.ResponseWriter, r *http.Request) {
+	cat := simCatalog{
+		RetentionTimesUS: config.RetentionTimesUS(),
+		Presets:          []string{"scaled", "fullsize"},
+	}
+	apps := workload.Apps()
+	for _, name := range workload.AppNames() {
+		p := apps[name]
+		cat.Applications = append(cat.Applications, simApp{
+			Name:  p.Name,
+			Suite: p.Suite,
+			Input: p.Input,
+			Class: p.PaperClass.String(),
+		})
+	}
+	for _, p := range config.SweepPolicies() {
+		cat.Policies = append(cat.Policies, p.String())
+	}
+	writeJSON(w, http.StatusOK, cat)
+}
+
+// healthz is the payload of GET /healthz.
+type healthz struct {
+	Status   string `json:"status"`
+	Jobs     int    `json:"jobs"`
+	Queued   int    `json:"queued"`
+	Inflight int    `json:"inflight"`
+	Cached   int    `json:"cached"`
+}
+
+// handleHealthz implements GET /healthz.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	cached, inflight := s.cache.stats()
+	h := healthz{
+		Status:   "ok",
+		Jobs:     len(s.jobs),
+		Queued:   s.pool.queued(),
+		Inflight: inflight,
+		Cached:   cached,
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, h)
+}

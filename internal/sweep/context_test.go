@@ -1,0 +1,136 @@
+package sweep
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"refrint/internal/config"
+)
+
+// smallOptions is a real but fast sweep: 1 app x (1 policy + baseline).
+func smallOptions(seed int64) Options {
+	return Options{
+		Apps:             []string{"FFT"},
+		RetentionTimesUS: []float64{50},
+		Policies:         []config.Policy{config.RefrintValid},
+		EffortScale:      0.05,
+		Seed:             seed,
+		Workers:          2,
+	}
+}
+
+// TestExecuteContextProgress verifies every simulation reports exactly one
+// progress callback with a consistent total, and that the final count
+// reaches the sweep size.
+func TestExecuteContextProgress(t *testing.T) {
+	opts := Options{
+		Apps:             []string{"FFT", "LU"},
+		RetentionTimesUS: []float64{50},
+		Policies:         []config.Policy{config.RefrintValid, config.PeriodicAll},
+		EffortScale:      0.05,
+		Seed:             1,
+		Workers:          4,
+	}
+	want := opts.Size()
+	if want != 6 { // 2 apps x (2 policies + baseline)
+		t.Fatalf("Size() = %d, want 6", want)
+	}
+
+	var mu sync.Mutex
+	var calls int
+	maxDone := 0
+	res, err := ExecuteContext(context.Background(), opts, func(p Progress) {
+		mu.Lock()
+		defer mu.Unlock()
+		calls++
+		if p.Total != want {
+			t.Errorf("progress total = %d, want %d", p.Total, want)
+		}
+		if p.Done < 1 || p.Done > want {
+			t.Errorf("progress done = %d out of range [1,%d]", p.Done, want)
+		}
+		if p.Done > maxDone {
+			maxDone = p.Done
+		}
+	})
+	if err != nil {
+		t.Fatalf("ExecuteContext: %v", err)
+	}
+	if res == nil {
+		t.Fatal("nil results")
+	}
+	if calls != want || maxDone != want {
+		t.Fatalf("progress calls = %d (max done %d), want %d", calls, maxDone, want)
+	}
+	if f := (Progress{Done: want, Total: want}).Fraction(); f != 1 {
+		t.Errorf("Fraction at completion = %g, want 1", f)
+	}
+}
+
+// TestExecuteContextCancel verifies a cancelled context stops the sweep
+// early with ctx.Err() and without waiting for the remaining simulations.
+func TestExecuteContextCancel(t *testing.T) {
+	// A sweep big enough that it cannot finish before the cancel lands.
+	opts := DefaultOptions()
+	opts.EffortScale = 0.25
+	opts.Workers = 2
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var once sync.Once
+	start := time.Now()
+	res, err := ExecuteContext(ctx, opts, func(Progress) {
+		once.Do(cancel) // cancel as soon as the first simulation completes
+	})
+	if err != context.Canceled {
+		t.Fatalf("ExecuteContext = (%v, %v), want context.Canceled", res, err)
+	}
+	if res != nil {
+		t.Fatal("cancelled sweep returned partial results")
+	}
+	// Generous bound: the full sweep takes far longer than two simulations.
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("cancellation took %v, expected early exit", elapsed)
+	}
+}
+
+// TestExecuteWorkersRace exercises the result-aggregation paths with many
+// workers; run under -race this is the sweep-level data-race check, and it
+// also pins worker-count independence of the results.
+func TestExecuteWorkersRace(t *testing.T) {
+	opts := smallOptions(1)
+	opts.Apps = []string{"FFT", "LU", "Blackscholes"}
+	opts.Workers = 8
+
+	var progressCalls atomic.Int64
+	parallel, err := ExecuteContext(context.Background(), opts, func(Progress) { progressCalls.Add(1) })
+	if err != nil {
+		t.Fatalf("parallel sweep: %v", err)
+	}
+	if got := int(progressCalls.Load()); got != opts.Size() {
+		t.Fatalf("progress calls = %d, want %d", got, opts.Size())
+	}
+
+	serialOpts := opts
+	serialOpts.Workers = 1
+	serial, err := Execute(serialOpts)
+	if err != nil {
+		t.Fatalf("serial sweep: %v", err)
+	}
+
+	for _, app := range opts.Apps {
+		p, ok1 := parallel.Baselines[app]
+		s, ok2 := serial.Baselines[app]
+		if !ok1 || !ok2 {
+			t.Fatalf("missing baseline for %s (parallel %v, serial %v)", app, ok1, ok2)
+		}
+		if p.Result.Cycles != s.Result.Cycles {
+			t.Errorf("%s baseline cycles differ across worker counts: %d vs %d", app, p.Result.Cycles, s.Result.Cycles)
+		}
+	}
+	if parallel.Options.Key() != serial.Options.Key() {
+		t.Errorf("worker count leaked into the key: %q vs %q", parallel.Options.Key(), serial.Options.Key())
+	}
+}

@@ -1,0 +1,95 @@
+package sweep
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files from current output")
+
+// goldenSweep runs the reference sweep (QuickOptions, seed 1) once per test
+// binary; the golden tests below all read from it.
+var goldenSweep = sync.OnceValues(func() (*Results, error) {
+	return Execute(QuickOptions())
+})
+
+// compareGolden checks got against the named golden file, rewriting the file
+// under -update.
+func compareGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatalf("mkdir testdata: %v", err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatalf("update %s: %v", path, err)
+		}
+		t.Logf("updated %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read %s (run `go test ./internal/sweep -run TestGolden -update` to create it): %v", path, err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden file (%d vs %d bytes).\n"+
+			"If the change is intended, regenerate with -update and review the diff.\n"+
+			"First divergence near byte %d.",
+			name, len(got), len(want), firstDiff(got, want))
+	}
+}
+
+func firstDiff(a, b []byte) int {
+	n := min(len(a), len(b))
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}
+
+// TestGoldenFigures pins the complete machine-readable evaluation payload —
+// Table 6.1 and the Figure 6.1-6.4 series — for the QuickOptions sweep at
+// seed 1.  Any change to the simulator, energy model or normalization that
+// shifts a published data series fails here instead of drifting silently.
+func TestGoldenFigures(t *testing.T) {
+	res, err := goldenSweep()
+	if err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	payload, err := json.MarshalIndent(res.FiguresExport(), "", "  ")
+	if err != nil {
+		t.Fatalf("marshal figures: %v", err)
+	}
+	compareGolden(t, "figures_quick.json", append(payload, '\n'))
+}
+
+// TestGoldenExport pins the raw per-run export (cycles, energy breakdown,
+// activity counters) of the same sweep.
+func TestGoldenExport(t *testing.T) {
+	res, err := goldenSweep()
+	if err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf); err != nil {
+		t.Fatalf("write export: %v", err)
+	}
+	compareGolden(t, "export_quick.json", buf.Bytes())
+
+	// The golden bytes must round-trip through the loader.
+	loaded, err := LoadJSON(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("re-load export: %v", err)
+	}
+	if len(loaded.Runs) != res.Options.Size() {
+		t.Errorf("loaded %d runs, want %d", len(loaded.Runs), res.Options.Size())
+	}
+}

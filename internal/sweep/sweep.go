@@ -6,10 +6,15 @@
 package sweep
 
 import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
 	"fmt"
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"refrint/internal/config"
 	"refrint/internal/sim"
@@ -88,6 +93,51 @@ func (o Options) normalise() Options {
 	return o
 }
 
+// Size returns the number of simulations the options describe (after
+// defaulting): every application at every (retention, policy) point, plus
+// one SRAM baseline per application.
+func (o Options) Size() int {
+	o = o.normalise()
+	return len(o.Apps) * (len(o.RetentionTimesUS)*len(o.Policies) + 1)
+}
+
+// optionsKey is the canonical, serializable identity of a sweep: everything
+// that determines its Results.  Workers is deliberately excluded — it only
+// changes how fast the sweep runs, never what it computes.
+type optionsKey struct {
+	Base             config.Config   `json:"base"`
+	Apps             []string        `json:"apps"`
+	RetentionTimesUS []float64       `json:"retention_times_us"`
+	Policies         []config.Policy `json:"policies"`
+	EffortScale      float64         `json:"effort_scale"`
+	Seed             int64           `json:"seed"`
+}
+
+// Key returns a stable content hash identifying the sweep's outcome:
+// two Options with equal keys produce identical Results, regardless of
+// worker count.  Defaults are applied first, so an all-zero Options and an
+// explicit DefaultOptions() share a key.  The key is safe for use in URLs
+// and file names.
+func (o Options) Key() string {
+	o = o.normalise()
+	payload, err := json.Marshal(optionsKey{
+		Base:             o.Base,
+		Apps:             o.Apps,
+		RetentionTimesUS: o.RetentionTimesUS,
+		Policies:         o.Policies,
+		EffortScale:      o.EffortScale,
+		Seed:             o.Seed,
+	})
+	if err != nil {
+		// Config is a tree of plain structs; marshalling cannot fail unless a
+		// policy is invalid, in which case the label of the bad value still
+		// yields a usable (if non-canonical) key.
+		payload = []byte(fmt.Sprintf("%+v", o))
+	}
+	sum := sha256.Sum256(payload)
+	return hex.EncodeToString(sum[:16])
+}
+
 // Point identifies one cell of the sweep: a policy at a retention time (or
 // the SRAM baseline when RetentionUS is zero).
 type Point struct {
@@ -130,6 +180,36 @@ type Results struct {
 
 // Execute runs the sweep described by the options.
 func Execute(opts Options) (*Results, error) {
+	return ExecuteContext(context.Background(), opts, nil)
+}
+
+// Progress reports how far a sweep has advanced: Done of Total simulations
+// have completed.
+type Progress struct {
+	Done  int
+	Total int
+}
+
+// Fraction returns completion in [0, 1].
+func (p Progress) Fraction() float64 {
+	if p.Total == 0 {
+		return 0
+	}
+	return float64(p.Done) / float64(p.Total)
+}
+
+// ExecuteContext runs the sweep described by the options, honouring
+// cancellation and reporting progress.
+//
+// When ctx is cancelled the sweep stops starting new simulations, waits for
+// the in-flight ones, and returns ctx.Err().  Simulations already running
+// finish (one simulation is short); the partial Results are discarded.
+//
+// If progress is non-nil it is called after every completed simulation, from
+// worker goroutines; each call carries the number of simulations completed
+// at that instant, but calls from different workers may be observed out of
+// order.  The callback must be safe for concurrent use and return quickly.
+func ExecuteContext(ctx context.Context, opts Options, progress func(Progress)) (*Results, error) {
 	opts = opts.normalise()
 
 	// Build the work list: the SRAM baseline plus every (retention, policy)
@@ -162,25 +242,37 @@ func Execute(opts Options) (*Results, error) {
 		res.Runs[pt.Key()] = make(map[string]Run)
 	}
 
+	total := len(jobs)
 	var (
 		mu       sync.Mutex
 		wg       sync.WaitGroup
 		firstErr error
+		done     atomic.Int64
 		sem      = make(chan struct{}, opts.Workers)
 	)
 	for _, j := range jobs {
+		if ctx.Err() != nil {
+			break
+		}
 		wg.Add(1)
 		go func(j job) {
 			defer wg.Done()
-			sem <- struct{}{}
+			select {
+			case sem <- struct{}{}:
+			case <-ctx.Done():
+				return
+			}
 			defer func() { <-sem }()
+			if ctx.Err() != nil {
+				return
+			}
 			run, err := runOne(opts, j.app, j.point)
 			mu.Lock()
-			defer mu.Unlock()
 			if err != nil {
 				if firstErr == nil {
 					firstErr = err
 				}
+				mu.Unlock()
 				return
 			}
 			if j.point.IsBaseline() {
@@ -188,9 +280,16 @@ func Execute(opts Options) (*Results, error) {
 			} else {
 				res.Runs[j.point.Key()][j.app] = run
 			}
+			mu.Unlock()
+			if progress != nil {
+				progress(Progress{Done: int(done.Add(1)), Total: total})
+			}
 		}(j)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if firstErr != nil {
 		return nil, firstErr
 	}

@@ -17,8 +17,8 @@
 package refrint
 
 import (
+	"context"
 	"fmt"
-	"strconv"
 	"strings"
 
 	"refrint/internal/config"
@@ -86,42 +86,11 @@ func Policies() []Policy { return config.SweepPolicies() }
 // "SRAM", "P.all", "P.valid", "P.dirty", "R.all", "R.valid", "R.dirty",
 // "P.WB(n,m)" or "R.WB(n,m)".
 func ParsePolicy(label string) (Policy, error) {
-	s := strings.TrimSpace(label)
-	if strings.EqualFold(s, "SRAM") {
-		return config.SRAMBaseline, nil
+	p, err := config.ParsePolicyLabel(label)
+	if err != nil {
+		return Policy{}, fmt.Errorf("refrint: %w", err)
 	}
-	var timePolicy config.TimePolicy
-	switch {
-	case strings.HasPrefix(s, "P."), strings.HasPrefix(s, "p."):
-		timePolicy = config.PeriodicTime
-	case strings.HasPrefix(s, "R."), strings.HasPrefix(s, "r."):
-		timePolicy = config.RefrintTime
-	default:
-		return Policy{}, fmt.Errorf("refrint: policy %q must start with P. or R. (or be SRAM)", label)
-	}
-	rest := s[2:]
-	switch strings.ToLower(rest) {
-	case "all":
-		return Policy{Time: timePolicy, Data: config.AllData}, nil
-	case "valid":
-		return Policy{Time: timePolicy, Data: config.ValidData}, nil
-	case "dirty":
-		return Policy{Time: timePolicy, Data: config.DirtyData}, nil
-	}
-	if strings.HasPrefix(strings.ToUpper(rest), "WB(") && strings.HasSuffix(rest, ")") {
-		inner := rest[3 : len(rest)-1]
-		parts := strings.Split(inner, ",")
-		if len(parts) != 2 {
-			return Policy{}, fmt.Errorf("refrint: malformed WB policy %q", label)
-		}
-		n, err1 := strconv.Atoi(strings.TrimSpace(parts[0]))
-		m, err2 := strconv.Atoi(strings.TrimSpace(parts[1]))
-		if err1 != nil || err2 != nil || n < 0 || m < 0 {
-			return Policy{}, fmt.Errorf("refrint: malformed WB budgets in %q", label)
-		}
-		return config.WB(timePolicy, n, m), nil
-	}
-	return Policy{}, fmt.Errorf("refrint: unknown data policy in %q", label)
+	return p, nil
 }
 
 // Preset returns a named architecture preset: "scaled" (default; the
@@ -220,6 +189,115 @@ func Simulate(req SimRequest) (Result, error) {
 	return res, nil
 }
 
+// SweepProgress reports how far a running sweep has advanced.
+type SweepProgress = sweep.Progress
+
+// SweepRequest is the JSON wire form of a sweep submission, as accepted by
+// the refrint-serve API (POST /v1/sweeps).  Zero values mean "the paper's
+// default": all applications, retention times 50/100/200 us, the 14 policies
+// of Table 5.4, effort 1.0, seed 1.
+//
+// The type round-trips: Options() produces the sweep the request describes,
+// and RequestFromOptions inverts it for any sweep expressible on the wire.
+type SweepRequest struct {
+	// Preset is "scaled" (default) or "fullsize".
+	Preset string `json:"preset,omitempty"`
+	// Apps restricts the applications (names from Applications()).
+	Apps []string `json:"apps,omitempty"`
+	// RetentionTimesUS restricts the eDRAM retention times, in microseconds.
+	RetentionTimesUS []float64 `json:"retention_times_us,omitempty"`
+	// Policies restricts the policies, as ParsePolicy labels.
+	Policies []string `json:"policies,omitempty"`
+	// EffortScale multiplies every application's per-thread work.
+	EffortScale float64 `json:"effort_scale,omitempty"`
+	// Seed drives the synthetic workloads.
+	Seed int64 `json:"seed,omitempty"`
+	// Workers bounds concurrent simulations within the sweep (0 = NumCPU).
+	// It never affects results, only speed, and is excluded from Key().
+	Workers int `json:"workers,omitempty"`
+}
+
+// Options resolves the request into executable sweep options, validating
+// every field.
+func (r SweepRequest) Options() (SweepOptions, error) {
+	base, err := Preset(r.Preset)
+	if err != nil {
+		return SweepOptions{}, err
+	}
+	opts := sweep.DefaultOptions()
+	opts.Base = base
+	if len(r.Apps) > 0 {
+		for _, app := range r.Apps {
+			if _, err := workload.Get(app); err != nil {
+				return SweepOptions{}, fmt.Errorf("refrint: %w", err)
+			}
+		}
+		opts.Apps = append([]string(nil), r.Apps...)
+	}
+	if len(r.RetentionTimesUS) > 0 {
+		for _, ret := range r.RetentionTimesUS {
+			if ret <= 0 {
+				return SweepOptions{}, fmt.Errorf("refrint: retention time %g us must be positive", ret)
+			}
+		}
+		opts.RetentionTimesUS = append([]float64(nil), r.RetentionTimesUS...)
+	}
+	if len(r.Policies) > 0 {
+		opts.Policies = nil
+		for _, label := range r.Policies {
+			p, err := ParsePolicy(label)
+			if err != nil {
+				return SweepOptions{}, err
+			}
+			if p.Time == config.NoRefresh {
+				return SweepOptions{}, fmt.Errorf("refrint: policy list must not include the SRAM baseline (it is always run)")
+			}
+			opts.Policies = append(opts.Policies, p)
+		}
+	}
+	if r.EffortScale < 0 {
+		return SweepOptions{}, fmt.Errorf("refrint: effort scale %g must be non-negative", r.EffortScale)
+	}
+	if r.EffortScale > 0 {
+		opts.EffortScale = r.EffortScale
+	}
+	if r.Seed != 0 {
+		opts.Seed = r.Seed
+	}
+	if r.Workers > 0 {
+		opts.Workers = r.Workers
+	}
+	return opts, nil
+}
+
+// Key returns the canonical identity of the sweep the request describes:
+// requests with equal keys compute identical results.  See SweepOptions.Key.
+func (r SweepRequest) Key() (string, error) {
+	opts, err := r.Options()
+	if err != nil {
+		return "", err
+	}
+	return opts.Key(), nil
+}
+
+// RequestFromOptions renders sweep options back into their wire form.  The
+// inverse of SweepRequest.Options for any sweep expressible on the wire:
+// the round trip preserves Options.Key().
+func RequestFromOptions(opts SweepOptions) SweepRequest {
+	req := SweepRequest{
+		Preset:           opts.Base.Name,
+		Apps:             append([]string(nil), opts.Apps...),
+		RetentionTimesUS: append([]float64(nil), opts.RetentionTimesUS...),
+		EffortScale:      opts.EffortScale,
+		Seed:             opts.Seed,
+		Workers:          opts.Workers,
+	}
+	for _, p := range opts.Policies {
+		req.Policies = append(req.Policies, p.String())
+	}
+	return req
+}
+
 // DefaultSweep returns the options for the paper's full Table 5.4 sweep on
 // the scaled preset.
 func DefaultSweep() SweepOptions { return sweep.DefaultOptions() }
@@ -230,3 +308,11 @@ func QuickSweep() SweepOptions { return sweep.QuickOptions() }
 
 // RunSweep executes a sweep and returns its results.
 func RunSweep(opts SweepOptions) (*SweepResults, error) { return sweep.Execute(opts) }
+
+// RunSweepContext is RunSweep with cancellation and progress reporting: the
+// sweep stops early (returning ctx.Err()) when the context is cancelled, and
+// calls progress (if non-nil) after every completed simulation.  This is the
+// entry point refrint-serve jobs use.
+func RunSweepContext(ctx context.Context, opts SweepOptions, progress func(SweepProgress)) (*SweepResults, error) {
+	return sweep.ExecuteContext(ctx, opts, progress)
+}

@@ -1,0 +1,118 @@
+package refrint
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+)
+
+// TestSweepRequestJSONRoundTrip verifies the wire form: a request survives
+// JSON encode/decode and still resolves to the same canonical sweep key.
+func TestSweepRequestJSONRoundTrip(t *testing.T) {
+	req := SweepRequest{
+		Preset:           "scaled",
+		Apps:             []string{"FFT", "LU"},
+		RetentionTimesUS: []float64{50, 100},
+		Policies:         []string{"P.all", "R.WB(32,32)"},
+		EffortScale:      0.5,
+		Seed:             9,
+		Workers:          3,
+	}
+	payload, err := json.Marshal(req)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var decoded SweepRequest
+	if err := json.Unmarshal(payload, &decoded); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	k1, err := req.Key()
+	if err != nil {
+		t.Fatalf("key: %v", err)
+	}
+	k2, err := decoded.Key()
+	if err != nil {
+		t.Fatalf("decoded key: %v", err)
+	}
+	if k1 != k2 {
+		t.Fatalf("JSON round trip changed key: %q vs %q", k1, k2)
+	}
+}
+
+// TestRequestFromOptionsInverts verifies Options -> Request -> Options
+// preserves the canonical key, for defaults and for a customized sweep.
+func TestRequestFromOptionsInverts(t *testing.T) {
+	for _, opts := range []SweepOptions{DefaultSweep(), QuickSweep()} {
+		req := RequestFromOptions(opts)
+		back, err := req.Options()
+		if err != nil {
+			t.Fatalf("RequestFromOptions(%+v).Options(): %v", opts, err)
+		}
+		if back.Key() != opts.Key() {
+			t.Fatalf("round trip changed key: %q vs %q", back.Key(), opts.Key())
+		}
+	}
+}
+
+// TestSweepKeySemantics pins what the cache key must and must not depend on.
+func TestSweepKeySemantics(t *testing.T) {
+	base := DefaultSweep()
+
+	zero := SweepOptions{}
+	if zero.Key() != base.Key() {
+		t.Errorf("zero-value options key %q differs from explicit defaults %q", zero.Key(), base.Key())
+	}
+
+	workers := base
+	workers.Workers = 1
+	if workers.Key() != base.Key() {
+		t.Errorf("worker count changed the key: results are worker-independent")
+	}
+
+	seeded := base
+	seeded.Seed = 2
+	if seeded.Key() == base.Key() {
+		t.Errorf("seed change did not change the key")
+	}
+
+	effort := base
+	effort.EffortScale = 0.5
+	if effort.Key() == base.Key() {
+		t.Errorf("effort change did not change the key")
+	}
+
+	apps := base
+	apps.Apps = []string{"FFT"}
+	if apps.Key() == base.Key() {
+		t.Errorf("app selection change did not change the key")
+	}
+}
+
+// TestSweepRequestValidation rejects requests the service must never run.
+func TestSweepRequestValidation(t *testing.T) {
+	bad := []SweepRequest{
+		{Preset: "galactic"},
+		{Apps: []string{"NotAnApp"}},
+		{RetentionTimesUS: []float64{0}},
+		{RetentionTimesUS: []float64{-50}},
+		{Policies: []string{"X.all"}},
+		{Policies: []string{"SRAM"}},
+		{EffortScale: -0.25},
+	}
+	for _, req := range bad {
+		if _, err := req.Options(); err == nil {
+			t.Errorf("request %+v validated, want error", req)
+		}
+	}
+}
+
+// TestRunSweepContextCancelled verifies the public context entry point
+// surfaces cancellation.
+func TestRunSweepContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunSweepContext(ctx, QuickSweep(), nil)
+	if err != context.Canceled {
+		t.Fatalf("RunSweepContext on cancelled ctx = %v, want context.Canceled", err)
+	}
+}
