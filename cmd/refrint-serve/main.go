@@ -5,14 +5,19 @@
 //
 // Quickstart:
 //
-//	refrint-serve -addr :8080 &
+//	refrint-serve -addr :8080 -data-dir /var/lib/refrint &
 //	curl -s -X POST localhost:8080/v1/sweeps \
 //	     -d '{"apps":["FFT","LU"],"retention_times_us":[50],"effort_scale":0.25}'
 //	curl -s localhost:8080/v1/sweeps/job-000001            # poll progress
-//	curl -s localhost:8080/v1/sweeps/job-000001/figures    # figure series
+//	curl -s localhost:8080/v1/sweeps/job-000001/figures    # figure series (job id or sweep key)
 //	curl -s -X DELETE localhost:8080/v1/sweeps/job-000001  # cancel
 //	curl -s localhost:8080/v1/sims                         # catalog
 //	curl -s localhost:8080/healthz
+//	curl -s localhost:8080/metrics                         # operational counters
+//
+// With -data-dir, completed sweeps and their individual simulation cells are
+// persisted: a restarted server serves previously completed sweeps without
+// re-running anything, and overlapping sweeps reuse shared cells.
 package main
 
 import (
@@ -28,26 +33,43 @@ import (
 	"time"
 
 	"refrint/internal/server"
+	"refrint/internal/store"
 )
 
 func main() {
 	var (
-		addr         = flag.String("addr", ":8080", "listen address")
-		shards       = flag.Int("shards", 2, "worker shards (concurrent sweeps)")
-		queueDepth   = flag.Int("queue-depth", 8, "pending sweeps per shard")
-		cacheEntries = flag.Int("cache", 32, "completed sweeps kept for reuse")
-		sweepWorkers = flag.Int("sweep-workers", 0, "simulation concurrency per sweep (0 = NumCPU/shards)")
-		jobHistory   = flag.Int("job-history", 1024, "finished jobs kept pollable")
+		addr          = flag.String("addr", ":8080", "listen address")
+		shards        = flag.Int("shards", 2, "worker shards (concurrent sweeps)")
+		queueDepth    = flag.Int("queue-depth", 8, "pending sweeps per shard")
+		cacheEntries  = flag.Int("cache", 32, "completed sweeps kept for reuse")
+		sweepWorkers  = flag.Int("sweep-workers", 0, "simulation concurrency per sweep (0 = NumCPU/shards)")
+		jobHistory    = flag.Int("job-history", 1024, "finished jobs kept pollable")
+		dataDir       = flag.String("data-dir", "", "persist results (whole sweeps and individual cells) under this directory; restarts serve completed sweeps without re-running them")
+		storeMaxBytes = flag.Int64("store-max-bytes", 1<<30, "LRU byte budget of the persistent store (with -data-dir)")
 	)
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "refrint-serve: ", log.LstdFlags)
+
+	var st *store.Store
+	if *dataDir != "" {
+		var err error
+		st, err = store.Open(*dataDir, store.Options{MaxBytes: *storeMaxBytes, Logf: logger.Printf})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "refrint-serve:", err)
+			os.Exit(1)
+		}
+		defer st.Close()
+		logger.Printf("store: %s (%d blobs)", *dataDir, st.Stats().Entries)
+	}
+
 	svc := server.New(server.Config{
 		Shards:       *shards,
 		QueueDepth:   *queueDepth,
 		CacheEntries: *cacheEntries,
 		SweepWorkers: *sweepWorkers,
 		JobHistory:   *jobHistory,
+		Store:        st,
 		Logf:         logger.Printf,
 	})
 	defer svc.Close()

@@ -8,6 +8,7 @@
 //	refrint-sweep                       # full sweep on the scaled preset
 //	refrint-sweep -quick                # 3 apps, shorter runs
 //	refrint-sweep -apps FFT,LU -retentions 50 -csv figure61
+//	refrint-sweep -data-dir ./results   # reuse/persist results across runs
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 	"refrint"
 	"refrint/internal/config"
 	"refrint/internal/report"
+	"refrint/internal/store"
 	"refrint/internal/sweep"
 )
 
@@ -34,6 +36,8 @@ func main() {
 		workers    = flag.Int("workers", 0, "concurrent simulations (default: NumCPU)")
 		csvOut     = flag.String("csv", "", "emit CSV instead of text: figure61, figure62, figure63 or figure64")
 		selector   = flag.String("class", "all", "application selection for figures 6.2-6.4: all, class1, class2 or class3")
+		dataDir    = flag.String("data-dir", "", "reuse and persist results (whole sweeps and individual cells) under this directory")
+		storeMax   = flag.Int64("store-max-bytes", 1<<30, "LRU byte budget of the persistent store (with -data-dir); match the service's setting when sharing its data dir")
 	)
 	flag.Parse()
 
@@ -67,7 +71,7 @@ func main() {
 	}
 	opts.Seed = *seed
 
-	results, err := refrint.RunSweep(opts)
+	results, err := runWithStore(opts, *dataDir, *storeMax)
 	if err != nil {
 		fatal(err)
 	}
@@ -88,6 +92,42 @@ func main() {
 		fmt.Println(report.FigureScalar("Figure 6.4: Execution time (normalized to full-SRAM execution time)", sel, results.Figure64(sel)))
 	}
 	printHeadline(results)
+}
+
+// runWithStore executes the sweep, reusing the persistent result store when
+// a data directory is given: a sweep that was fully computed before is
+// loaded outright, and otherwise only the cells the store does not already
+// hold are simulated (fresh ones are persisted for next time).
+func runWithStore(opts refrint.SweepOptions, dataDir string, maxBytes int64) (*refrint.SweepResults, error) {
+	if dataDir == "" {
+		return refrint.RunSweep(opts)
+	}
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "refrint-sweep: "+format+"\n", args...)
+	}
+	st, err := store.Open(dataDir, store.Options{MaxBytes: maxBytes, Logf: logf})
+	if err != nil {
+		return nil, err
+	}
+	defer st.Close()
+
+	key := opts.Key()
+	cached := &sweep.Results{}
+	if st.Get(store.KindSweep, key, cached) {
+		fmt.Fprintf(os.Stderr, "refrint-sweep: sweep %s loaded from %s (no simulations run)\n", key, dataDir)
+		return cached, nil
+	}
+	opts.CellLookup, opts.CellPut = st.CellHooks(logf)
+	results, err := refrint.RunSweep(opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := st.Put(store.KindSweep, key, results); err != nil {
+		fmt.Fprintf(os.Stderr, "refrint-sweep: persisting sweep %s: %v\n", key, err)
+	}
+	ss := st.Stats()
+	fmt.Fprintf(os.Stderr, "refrint-sweep: store %s: %d cell hits, %d computed\n", dataDir, ss.CellHits, ss.CellMisses)
+	return results, nil
 }
 
 // printHeadline prints the paper's headline comparison at 50 us.

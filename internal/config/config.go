@@ -12,6 +12,9 @@
 package config
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
 	"fmt"
 
 	"refrint/internal/mem"
@@ -257,6 +260,28 @@ type Config struct {
 
 // Geometry returns the line geometry shared by the whole hierarchy.
 func (c Config) Geometry() mem.LineGeometry { return mem.NewLineGeometry(c.LineSize) }
+
+// Hash returns a stable content hash of the configuration: two Configs with
+// equal hashes describe identical architectures.  The hash is hex and safe
+// for use in file names; it is the base-configuration component of a sweep
+// cell key (see sweep.CellKey).
+func (c Config) Hash() string { return HashJSON(c) }
+
+// HashJSON is the canonical content hash shared by every refrint key space
+// (config hashes, sweep keys, cell keys): SHA-256 over the JSON rendering,
+// truncated to 128 bits, hex-encoded.  A value that cannot marshal (an
+// invalid policy, a non-finite float) falls back to its fmt rendering, so a
+// usable — if non-canonical — hash is always produced.  Changing this
+// recipe invalidates every persisted store key at once, which is exactly
+// why it lives in one place.
+func HashJSON(v any) string {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		payload = []byte(fmt.Sprintf("%+v", v))
+	}
+	sum := sha256.Sum256(payload)
+	return hex.EncodeToString(sum[:16])
+}
 
 // CyclesPerMicrosecond converts wall-clock microseconds to core cycles.
 func (c Config) CyclesPerMicrosecond() int64 { return int64(c.FreqMHz) / 1 }

@@ -14,6 +14,11 @@
 // requests have the same canonical key (sweep.Options.Key) attach to one
 // execution entry, and a job submitted after that entry completed is served
 // from the result cache without running anything.
+//
+// With a persistent store attached (Config.Store), completed sweeps and
+// individual simulation cells survive restarts: submissions and result
+// fetches check the store behind the in-memory cache, and running sweeps
+// skip every cell the store already holds.
 package server
 
 import (

@@ -1,0 +1,69 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// handleMetrics implements GET /metrics: a plain-text, Prometheus-style
+// exposition of the service's operational counters.  It uses no external
+// dependencies — the format is simple enough to emit by hand.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	byState := map[State]int{}
+	for _, j := range s.jobs {
+		byState[j.state]++
+	}
+	queued := s.pool.queued()
+	cached, inflight := s.cache.stats()
+	sweepHits, sweepMisses := s.sweepCacheHits, s.sweepCacheMisses
+	sims := s.simsCompleted
+	uptime := time.Since(s.startedAt).Seconds()
+	s.mu.Unlock()
+
+	var b strings.Builder
+	gauge := func(name, help string, value any) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %v\n", name, help, name, name, value)
+	}
+	counter := func(name, help string, value any) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %v\n", name, help, name, name, value)
+	}
+
+	gauge("refrint_queue_depth", "Sweep executions waiting in worker queues.", queued)
+
+	fmt.Fprintf(&b, "# HELP refrint_jobs Jobs by lifecycle state.\n# TYPE refrint_jobs gauge\n")
+	for _, st := range []State{StateQueued, StateRunning, StateDone, StateFailed, StateCancelled} {
+		fmt.Fprintf(&b, "refrint_jobs{state=%q} %d\n", string(st), byState[st])
+	}
+
+	gauge("refrint_sweep_cache_entries", "Completed sweeps held in the in-memory cache.", cached)
+	gauge("refrint_sweep_inflight", "Sweep executions currently queued or running.", inflight)
+	counter("refrint_sweep_cache_hits_total", "Submissions answered immediately from the sweep cache or store.", sweepHits)
+	counter("refrint_sweep_cache_misses_total", "Submissions that required a live execution.", sweepMisses)
+
+	if st := s.cfg.Store; st != nil {
+		ss := st.Stats()
+		counter("refrint_cell_cache_hits_total", "Simulation cells served from the persistent store.", ss.CellHits)
+		counter("refrint_cell_cache_misses_total", "Simulation cells that had to be computed.", ss.CellMisses)
+		counter("refrint_store_sweep_hits_total", "Whole-sweep store reads that hit.", ss.SweepHits)
+		counter("refrint_store_sweep_misses_total", "Whole-sweep store reads that missed.", ss.SweepMisses)
+		gauge("refrint_store_entries", "Blobs currently persisted in the store.", ss.Entries)
+		gauge("refrint_store_bytes", "Bytes currently persisted in the store.", ss.Bytes)
+		counter("refrint_store_quarantined_total", "Blobs quarantined after failing verification.", ss.Quarantined)
+		counter("refrint_store_evictions_total", "Blobs evicted by the LRU byte budget.", ss.Evictions)
+	}
+
+	counter("refrint_sims_completed_total", "Simulations completed (cell-cache hits included).", sims)
+	rate := 0.0
+	if uptime > 0 {
+		rate = float64(sims) / uptime
+	}
+	gauge("refrint_sims_per_second", "Average simulations per second since the server started.", fmt.Sprintf("%.6g", rate))
+	gauge("refrint_uptime_seconds", "Seconds since the server started.", fmt.Sprintf("%.3f", uptime))
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte(b.String()))
+}

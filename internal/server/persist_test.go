@@ -1,0 +1,267 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"regexp"
+	"strconv"
+	"sync/atomic"
+	"testing"
+
+	"refrint"
+	"refrint/internal/store"
+	"refrint/internal/sweep"
+)
+
+// countingExec is the real executor with an invocation counter, so tests
+// can assert "no new simulations ran".
+func countingExec(calls *atomic.Int64) ExecuteFunc {
+	return func(ctx context.Context, opts sweep.Options, progress func(sweep.Progress)) (*refrint.SweepResults, error) {
+		calls.Add(1)
+		return sweep.ExecuteContext(ctx, opts, progress)
+	}
+}
+
+func openStore(t *testing.T, dir string) *store.Store {
+	t.Helper()
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatalf("store.Open(%s): %v", dir, err)
+	}
+	return st
+}
+
+func mustKey(t *testing.T, req refrint.SweepRequest) string {
+	t.Helper()
+	key, err := req.Key()
+	if err != nil {
+		t.Fatalf("request key: %v", err)
+	}
+	return key
+}
+
+// getText fetches a non-JSON endpoint.
+func (h *harness) getText(path string) (string, int) {
+	h.t.Helper()
+	resp, err := h.ts.Client().Get(h.ts.URL + path)
+	if err != nil {
+		h.t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		h.t.Fatalf("GET %s: read body: %v", path, err)
+	}
+	return string(data), resp.StatusCode
+}
+
+// metricValue extracts one un-labelled metric value from exposition text.
+func metricValue(t *testing.T, text, name string) float64 {
+	t.Helper()
+	re := regexp.MustCompile(`(?m)^` + regexp.QuoteMeta(name) + ` (\S+)$`)
+	m := re.FindStringSubmatch(text)
+	if m == nil {
+		t.Fatalf("metric %s missing from:\n%s", name, text)
+	}
+	v, err := strconv.ParseFloat(m[1], 64)
+	if err != nil {
+		t.Fatalf("metric %s value %q: %v", name, m[1], err)
+	}
+	return v
+}
+
+// TestRestartServesPersistedSweep is the acceptance criterion for the
+// persistent store: a second server over the first one's data dir serves a
+// completed sweep's figures — by canonical key, with no job ever submitted —
+// without executing anything, and a resubmission is an immediate cache hit.
+func TestRestartServesPersistedSweep(t *testing.T) {
+	dir := t.TempDir()
+	req := tinyRequest(11)
+	key := mustKey(t, req)
+
+	// First server lifetime: run the sweep and persist it.
+	st1 := openStore(t, dir)
+	var calls1 atomic.Int64
+	h1 := newHarness(t, Config{Store: st1, Execute: countingExec(&calls1)})
+	view, _ := h1.submit(req)
+	h1.waitState(view.ID, StateDone)
+	if view.Key != key {
+		t.Fatalf("job key %s, want %s", view.Key, key)
+	}
+
+	// Figures are addressable by sweep key as well as by job id.
+	var figsByKey, figsByID sweep.FiguresExport
+	if resp := h1.do("GET", "/v1/sweeps/"+key+"/figures", nil, &figsByKey); resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET figures by key: status %d", resp.StatusCode)
+	}
+	h1.do("GET", "/v1/sweeps/"+view.ID+"/figures", nil, &figsByID)
+	wantFigs, _ := json.Marshal(figsByKey)
+	if byID, _ := json.Marshal(figsByID); string(byID) != string(wantFigs) {
+		t.Fatal("figures by key differ from figures by job id")
+	}
+
+	h1.ts.Close()
+	h1.srv.Close()
+	if err := st1.Close(); err != nil {
+		t.Fatalf("closing store: %v", err)
+	}
+
+	// Restarted server over the same data dir: no jobs exist, yet the sweep
+	// is served by key without a single execution.
+	st2 := openStore(t, dir)
+	t.Cleanup(func() { st2.Close() })
+	var calls2 atomic.Int64
+	h2 := newHarness(t, Config{Store: st2, Execute: countingExec(&calls2)})
+
+	var figs sweep.FiguresExport
+	if resp := h2.do("GET", "/v1/sweeps/"+key+"/figures", nil, &figs); resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET figures by key after restart: status %d", resp.StatusCode)
+	}
+	if got, _ := json.Marshal(figs); string(got) != string(wantFigs) {
+		t.Fatal("restarted server served different figures")
+	}
+	var export sweep.Export
+	if resp := h2.do("GET", "/v1/sweeps/"+key+"/results", nil, &export); resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET results by key after restart: status %d", resp.StatusCode)
+	}
+	if len(export.Runs) != 2 {
+		t.Fatalf("restarted results export has %d runs, want 2", len(export.Runs))
+	}
+
+	// Resubmitting the same sweep is an immediate, terminal cache hit.
+	again, status := h2.submit(req)
+	if status != http.StatusOK || again.State != StateDone || !again.CacheHit {
+		t.Fatalf("resubmit after restart: status %d, state %s, cache_hit %v",
+			status, again.State, again.CacheHit)
+	}
+	if n := calls2.Load(); n != 0 {
+		t.Fatalf("restarted server ran %d executions, want 0", n)
+	}
+
+	// An unknown key is still a 404, not a 500.
+	if _, status := h2.getText("/v1/sweeps/ffffffffffffffffffffffffffffffff/figures"); status != http.StatusNotFound {
+		t.Errorf("unknown key: status %d, want 404", status)
+	}
+}
+
+// TestOverlappingSweepsShareCells is the second acceptance criterion: a
+// sweep overlapping an earlier one only simulates its fresh cells, and
+// /metrics reports the cell-cache hits.
+func TestOverlappingSweepsShareCells(t *testing.T) {
+	st := openStore(t, t.TempDir())
+	t.Cleanup(func() { st.Close() })
+	h := newHarness(t, Config{Store: st})
+
+	// First sweep: baseline + R.valid@50 on FFT = 2 cells.
+	first, _ := h.submit(tinyRequest(5))
+	h.waitState(first.ID, StateDone)
+	if got := st.Stats(); got.CellMisses != 2 || got.CellHits != 0 {
+		t.Fatalf("first sweep store stats = %+v, want 2 misses, 0 hits", got)
+	}
+
+	// Overlapping sweep: one more retention time -> 3 cells, 2 shared.
+	wider := tinyRequest(5)
+	wider.RetentionTimesUS = []float64{50, 100}
+	second, _ := h.submit(wider)
+	done := h.waitState(second.ID, StateDone)
+	if done.Progress.Total != 3 {
+		t.Fatalf("wider sweep total = %d sims, want 3", done.Progress.Total)
+	}
+	stats := st.Stats()
+	if stats.CellHits != 2 {
+		t.Errorf("overlapping sweep: %d cell hits, want 2", stats.CellHits)
+	}
+	if stats.CellMisses != 3 { // 2 from the first sweep + 1 fresh
+		t.Errorf("cell misses = %d, want 3", stats.CellMisses)
+	}
+
+	// The figures of the cell-cached sweep match a from-scratch run.
+	var figs sweep.FiguresExport
+	h.do("GET", "/v1/sweeps/"+second.ID+"/figures", nil, &figs)
+	opts, err := wider.Options()
+	if err != nil {
+		t.Fatal(err)
+	}
+	scratch, err := sweep.Execute(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := json.Marshal(scratch.FiguresExport())
+	got, _ := json.Marshal(figs)
+	if string(got) != string(want) {
+		t.Error("cell-cached sweep served different figures than a from-scratch run")
+	}
+
+	// /metrics reflects all of it.
+	text, status := h.getText("/metrics")
+	if status != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d", status)
+	}
+	if hits := metricValue(t, text, "refrint_cell_cache_hits_total"); hits != 2 {
+		t.Errorf("metrics cell hits = %g, want 2", hits)
+	}
+	if sims := metricValue(t, text, "refrint_sims_completed_total"); sims != 5 {
+		t.Errorf("metrics sims completed = %g, want 5 (2 + 3)", sims)
+	}
+	if v := metricValue(t, text, "refrint_store_entries"); v != 5 { // 3 cells + 2 sweeps
+		t.Errorf("metrics store entries = %g, want 5", v)
+	}
+	if v := metricValue(t, text, "refrint_queue_depth"); v != 0 {
+		t.Errorf("metrics queue depth = %g, want 0", v)
+	}
+	if misses := metricValue(t, text, "refrint_sweep_cache_misses_total"); misses != 2 {
+		t.Errorf("metrics sweep cache misses = %g, want 2", misses)
+	}
+	// Jobs-by-state series present with both sweeps done.
+	re := regexp.MustCompile(`(?m)^refrint_jobs\{state="done"\} (\d+)$`)
+	m := re.FindStringSubmatch(text)
+	if m == nil || m[1] != "2" {
+		t.Errorf("metrics jobs done series = %v, want 2", m)
+	}
+}
+
+// TestFiguresByKeyInFlight verifies a sweep key whose execution is still
+// running answers 409 (like the job-id path), not 404, and flips to 200
+// once done.
+func TestFiguresByKeyInFlight(t *testing.T) {
+	exec := newBlockingExec()
+	h := newHarness(t, Config{Execute: exec.fn})
+	view, _ := h.submit(tinyRequest(21))
+	<-exec.started
+	if _, status := h.getText("/v1/sweeps/" + view.Key + "/figures"); status != http.StatusConflict {
+		t.Errorf("figures by in-flight key: status %d, want 409", status)
+	}
+	close(exec.release)
+	h.waitState(view.ID, StateDone)
+	if _, status := h.getText("/v1/sweeps/" + view.Key + "/figures"); status != http.StatusOK {
+		t.Errorf("figures by done key: status %d, want 200", status)
+	}
+}
+
+// TestMetricsWithoutStore verifies /metrics works on a store-less server
+// (no store series, everything else present).
+func TestMetricsWithoutStore(t *testing.T) {
+	h := newHarness(t, Config{})
+	view, _ := h.submit(tinyRequest(9))
+	h.waitState(view.ID, StateDone)
+	hit, status := h.submit(tinyRequest(9))
+	if status != http.StatusOK || !hit.CacheHit {
+		t.Fatalf("second submit: status %d, cache_hit %v", status, hit.CacheHit)
+	}
+
+	text, code := h.getText("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d", code)
+	}
+	if v := metricValue(t, text, "refrint_sweep_cache_hits_total"); v != 1 {
+		t.Errorf("sweep cache hits = %g, want 1", v)
+	}
+	if v := metricValue(t, text, "refrint_sims_completed_total"); v != 2 {
+		t.Errorf("sims completed = %g, want 2", v)
+	}
+	if regexp.MustCompile(`refrint_cell_cache_hits_total`).MatchString(text) {
+		t.Error("store-less server exposes cell cache series")
+	}
+}

@@ -12,6 +12,7 @@ import (
 
 	"refrint"
 	"refrint/internal/config"
+	"refrint/internal/store"
 	"refrint/internal/sweep"
 	"refrint/internal/workload"
 )
@@ -42,6 +43,10 @@ type Config struct {
 	SweepWorkers int
 	// Execute runs a sweep (default sweep.ExecuteContext).
 	Execute ExecuteFunc
+	// Store, when set, persists completed sweeps and individual simulation
+	// cells: restarts serve previously completed sweeps without re-running
+	// them, and overlapping sweeps reuse each other's cells.
+	Store *store.Store
 	// Logf, when set, receives one line per job state transition.
 	Logf func(format string, args ...any)
 }
@@ -82,24 +87,32 @@ type Server struct {
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 
-	// mu guards jobs, jobOrder, cache, nextID, closed and every mutable
-	// Job/entry field.
+	startedAt time.Time
+
+	// mu guards jobs, jobOrder, cache, nextID, closed, the metrics counters
+	// and every mutable Job/entry field.
 	mu       sync.Mutex
 	jobs     map[string]*Job
 	jobOrder []string
 	cache    *resultCache
 	nextID   int
 	closed   bool
+
+	// Metrics counters (see handleMetrics).
+	sweepCacheHits   int64 // submissions answered done immediately (memory or store)
+	sweepCacheMisses int64 // submissions that enqueued or attached to a live execution
+	simsCompleted    int64 // simulations finished across all sweeps (cell hits included)
 }
 
 // New builds a server and starts its worker pool.  Call Close to stop it.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:   cfg,
-		mux:   http.NewServeMux(),
-		jobs:  make(map[string]*Job),
-		cache: newResultCache(cfg.CacheEntries),
+		cfg:       cfg,
+		mux:       http.NewServeMux(),
+		jobs:      make(map[string]*Job),
+		cache:     newResultCache(cfg.CacheEntries),
+		startedAt: time.Now(),
 	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	s.pool = newPool(cfg.Shards, cfg.QueueDepth, s.runEntry)
@@ -112,6 +125,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/sweeps/{id}/results", s.handleResults)
 	s.mux.HandleFunc("GET /v1/sims", s.handleSims)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
 }
 
@@ -152,9 +166,18 @@ func (s *Server) runEntry(e *entry) {
 	s.mu.Unlock()
 	s.cfg.Logf("sweep %s: running (%d sims)", e.key, e.total)
 
-	res, err := s.cfg.Execute(e.ctx, e.opts, func(p sweep.Progress) {
+	// With a store attached, individual cells already computed by earlier
+	// (possibly different) sweeps are served from it instead of simulating,
+	// and fresh cells are persisted as they complete.
+	opts := e.opts
+	if st := s.cfg.Store; st != nil {
+		opts.CellLookup, opts.CellPut = st.CellHooks(s.cfg.Logf)
+	}
+
+	res, err := s.cfg.Execute(e.ctx, opts, func(p sweep.Progress) {
 		s.mu.Lock()
 		if p.Done > e.done {
+			s.simsCompleted += int64(p.Done - e.done)
 			e.done = p.Done
 		}
 		if p.Total > 0 {
@@ -162,6 +185,16 @@ func (s *Server) runEntry(e *entry) {
 		}
 		s.mu.Unlock()
 	})
+
+	// Persist the completed sweep before (and outside) the mutexed state
+	// transition: the blob can be large, so the write must not stall
+	// handlers or progress callbacks — and once a job is observably done,
+	// its result is already durable.
+	if err == nil && s.cfg.Store != nil {
+		if perr := s.cfg.Store.Put(store.KindSweep, e.key, res); perr != nil {
+			s.cfg.Logf("store: persisting sweep %s: %v", e.key, perr)
+		}
+	}
 
 	s.mu.Lock()
 	s.finishLocked(e, res, err)
@@ -246,6 +279,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		opts.Workers = s.cfg.SweepWorkers
 	}
 	key := opts.Key()
+	// Prime the cache from the persistent store before taking the lock (a
+	// no-op without a store or when the key is already cached): the blob
+	// read must not happen under the server mutex.
+	s.reviveStoredSweep(key)
 
 	s.mu.Lock()
 	if s.closed {
@@ -263,7 +300,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 
 	status := http.StatusAccepted
-	if e, ok := s.cache.lookup(key); ok {
+	e, hit := s.cache.lookup(key)
+	if hit {
 		// Singleflight: ride the execution already in flight, or serve the
 		// cached result outright.
 		job.entry = e
@@ -277,18 +315,22 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			job.startedAt = job.createdAt
 			job.endedAt = job.createdAt
 			status = http.StatusOK
+			s.sweepCacheHits++
 		case StateRunning:
 			e.jobs = append(e.jobs, job)
 			job.state = StateRunning
 			job.startedAt = job.createdAt
 			e.refs++
+			s.sweepCacheMisses++
 		default:
 			e.jobs = append(e.jobs, job)
 			e.refs++
+			s.sweepCacheMisses++
 		}
 	} else {
+		s.sweepCacheMisses++
 		ctx, cancel := context.WithCancel(s.baseCtx)
-		e := &entry{
+		e = &entry{
 			key:    key,
 			opts:   opts,
 			ctx:    ctx,
@@ -316,6 +358,58 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 	w.Header().Set("Location", "/v1/sweeps/"+view.ID)
 	writeJSON(w, status, view)
+}
+
+// reviveStoredSweep loads a previously persisted sweep from the store into
+// the cache as a completed entry, so submissions and result fetches after a
+// restart are served without re-running anything.  It returns the (now
+// cached) results when the key resolves to a completed sweep.  It must be
+// called WITHOUT the server mutex held: the blob read and decode can be
+// large, and — like the persist in runEntry — must not stall handlers or
+// progress callbacks.  Concurrent revivals of one key are harmless; the
+// first installed entry wins.
+func (s *Server) reviveStoredSweep(key string) (*refrint.SweepResults, bool) {
+	if s.cfg.Store == nil {
+		return nil, false
+	}
+	s.mu.Lock()
+	if e, ok := s.cache.lookup(key); ok {
+		var res *refrint.SweepResults
+		if e.state == StateDone {
+			res = e.res
+		}
+		s.mu.Unlock()
+		return res, res != nil
+	}
+	s.mu.Unlock()
+
+	var res refrint.SweepResults
+	if !s.cfg.Store.Get(store.KindSweep, key, &res) {
+		return nil, false
+	}
+	e := &entry{
+		key:    key,
+		opts:   res.Options,
+		ctx:    context.Background(),
+		cancel: func() {},
+		state:  StateDone,
+		res:    &res,
+	}
+	e.total = res.Options.Size()
+	e.done = e.total
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cur, ok := s.cache.lookup(key); ok {
+		// Lost a race to a concurrent revival or execution of the same key.
+		if cur.state == StateDone {
+			return cur.res, true
+		}
+		return nil, false
+	}
+	s.cache.put(e)
+	s.cache.markCompleted(e)
+	s.cfg.Logf("sweep %s: restored from store", key)
+	return e.res, true
 }
 
 // evictJobsLocked forgets the oldest terminal jobs beyond the history
@@ -429,14 +523,42 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, res.Export())
 }
 
-// completedResults fetches the results behind a job, rejecting jobs that are
-// not (yet) done.
+// completedResults fetches the results behind {id}, which may be a job id or
+// a canonical sweep key.  Keys resolve through the in-memory cache and then
+// the persistent store, so a restarted server serves completed sweeps by key
+// without any job existing.  Jobs that are not (yet) done are rejected.
 func (s *Server) completedResults(w http.ResponseWriter, r *http.Request) (*refrint.SweepResults, bool) {
-	job, ok := s.lookupJob(w, r)
+	id := r.PathValue("id")
+	s.mu.Lock()
+	job, ok := s.jobs[id]
 	if !ok {
+		// Not a job: try it as a sweep key (cache first, then store — the
+		// store read happens outside the mutex).  A key whose execution is
+		// still in flight answers 409 like the job-id path, so clients can
+		// tell "still running" from "never existed".
+		var res *refrint.SweepResults
+		var inflight State
+		if e, found := s.cache.lookup(id); found {
+			if e.state == StateDone {
+				res = e.res
+			} else {
+				inflight = e.state
+			}
+		}
+		s.mu.Unlock()
+		if res == nil && inflight == "" {
+			res, _ = s.reviveStoredSweep(id)
+		}
+		if res != nil {
+			return res, true
+		}
+		if inflight != "" {
+			writeError(w, http.StatusConflict, "sweep %s is %s, not done", id, inflight)
+			return nil, false
+		}
+		writeError(w, http.StatusNotFound, "no job or completed sweep %q", id)
 		return nil, false
 	}
-	s.mu.Lock()
 	state := job.state
 	var res *refrint.SweepResults
 	if job.entry != nil {

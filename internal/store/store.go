@@ -1,0 +1,696 @@
+// Package store is a durable, content-addressed result store.  It persists
+// JSON payloads keyed at two granularities — whole sweeps (by
+// sweep.Options.Key) and individual simulation cells (by
+// sweep.CellKey.Hash) — as versioned, checksummed blobs under a data
+// directory:
+//
+//	<dir>/v1/sweeps/<k[:2]>/<key>.json
+//	<dir>/v1/cells/<k[:2]>/<key>.json
+//	<dir>/v1/quarantine/<...>.json   (blobs that failed verification)
+//	<dir>/v1/index.json              (sizes + LRU access order)
+//
+// Every blob is written atomically (temp file + rename) and wrapped in an
+// envelope carrying the format version, its kind and key, and a SHA-256
+// checksum of the payload.  A blob that fails any of those checks on read is
+// moved to the quarantine directory rather than deleted, so a corrupted
+// store degrades to cache misses without losing evidence.
+//
+// The disk footprint is bounded by an LRU-bytes budget: when a put pushes
+// the total past the budget, the least-recently-used blobs are deleted until
+// it fits.  An in-memory front keeps recently used payloads decoded-free
+// (raw bytes) so repeated lookups of hot keys skip the filesystem.
+//
+// The store is safe for concurrent use by multiple goroutines of one
+// process.  It does not coordinate between processes: run one server per
+// data directory.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"refrint/internal/sim"
+	"refrint/internal/sweep"
+)
+
+// Version is the on-disk format version.  Blobs and index files written by
+// a different major version are ignored (left untouched on disk), so a
+// downgrade never destroys data it does not understand.
+const Version = 1
+
+// versionDir is the directory namespace of the current format.
+const versionDir = "v1"
+
+// Kind namespaces keys: whole-sweep results and per-simulation cells.
+type Kind string
+
+// Blob kinds.
+const (
+	KindSweep Kind = "sweeps"
+	KindCell  Kind = "cells"
+)
+
+func (k Kind) valid() bool { return k == KindSweep || k == KindCell }
+
+// Options tunes a Store.  The zero value is usable.
+type Options struct {
+	// MaxBytes bounds the total size of blobs kept on disk (default 1 GiB).
+	// Least-recently-used blobs are evicted past the budget.
+	MaxBytes int64
+	// MemEntries bounds the in-memory payload front (default 128 entries).
+	MemEntries int
+	// MemBytes bounds the in-memory payload front by size (default 64 MiB):
+	// whole-sweep blobs are large, and the front must not silently pin an
+	// unbounded multiple of what the disk budget allows.
+	MemBytes int64
+	// Logf, when set, receives one line per quarantine and eviction.
+	Logf func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxBytes <= 0 {
+		o.MaxBytes = 1 << 30
+	}
+	if o.MemEntries <= 0 {
+		o.MemEntries = 128
+	}
+	if o.MemBytes <= 0 {
+		o.MemBytes = 64 << 20
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	return o
+}
+
+// Stats is a snapshot of the store's counters.
+type Stats struct {
+	// Entries and Bytes describe what is currently on disk.
+	Entries int
+	Bytes   int64
+	// Hits and misses, per kind, since the store was opened.
+	SweepHits   int64
+	SweepMisses int64
+	CellHits    int64
+	CellMisses  int64
+	// Quarantined counts blobs moved aside after failing verification.
+	Quarantined int64
+	// Evictions counts blobs deleted by the LRU-bytes budget.
+	Evictions int64
+}
+
+// envelope is the on-disk form of one blob.
+type envelope struct {
+	Version  int             `json:"version"`
+	Kind     Kind            `json:"kind"`
+	Key      string          `json:"key"`
+	Checksum string          `json:"checksum"` // "sha256:<hex>" of Payload
+	Payload  json.RawMessage `json:"payload"`
+}
+
+// entry is the in-memory index record of one on-disk blob.
+type entry struct {
+	kind   Kind
+	key    string
+	bytes  int64
+	access int64 // logical LRU clock; higher = more recent
+}
+
+// Store is a persistent result store.  Open one with Open; it must not be
+// copied.
+type Store struct {
+	dir string
+	opt Options
+
+	mu      sync.Mutex
+	entries map[string]*entry // composite kind/key -> entry
+	bytes   int64
+	clock   int64
+	dirty   int // index mutations since the last index write
+	stats   Stats
+
+	mem      map[string][]byte // composite key -> payload bytes (hot front)
+	memOrder []string          // composite keys, oldest first
+	memBytes int64             // total payload bytes held by the front
+}
+
+// Open opens (creating if necessary) the store rooted at dir.
+func Open(dir string, opt Options) (*Store, error) {
+	opt = opt.withDefaults()
+	s := &Store{
+		dir:     dir,
+		opt:     opt,
+		entries: make(map[string]*entry),
+		mem:     make(map[string][]byte),
+	}
+	for _, sub := range []string{
+		filepath.Join(dir, versionDir, string(KindSweep)),
+		filepath.Join(dir, versionDir, string(KindCell)),
+		filepath.Join(dir, versionDir, "quarantine"),
+	} {
+		if err := os.MkdirAll(sub, 0o755); err != nil {
+			return nil, fmt.Errorf("store: creating %s: %w", sub, err)
+		}
+	}
+	if err := s.loadIndex(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Close persists the index (access order included) and releases the
+// in-memory front.  The store must not be used after Close.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mem = make(map[string][]byte)
+	s.memOrder = nil
+	s.memBytes = 0
+	return s.writeIndexLocked()
+}
+
+// Stats returns a snapshot of the store's counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Entries = len(s.entries)
+	st.Bytes = s.bytes
+	return st
+}
+
+// Put persists payload under (kind, key), replacing any previous blob, and
+// evicts least-recently-used blobs if the byte budget is exceeded.  The key
+// must be non-empty and path-safe (content hashes are).  The file write
+// happens outside the store mutex; concurrent puts of one key are safe
+// because keys are content-addressed — both writers carry identical bytes.
+func (s *Store) Put(kind Kind, key string, payload any) error {
+	if !kind.valid() {
+		return fmt.Errorf("store: unknown kind %q", kind)
+	}
+	if err := validKey(key); err != nil {
+		return err
+	}
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		return fmt.Errorf("store: encoding %s/%s: %w", kind, key, err)
+	}
+	env := envelope{
+		Version:  Version,
+		Kind:     kind,
+		Key:      key,
+		Checksum: checksum(raw),
+		Payload:  raw,
+	}
+	blob, err := json.Marshal(env)
+	if err != nil {
+		return fmt.Errorf("store: encoding envelope %s/%s: %w", kind, key, err)
+	}
+	path := s.blobPath(kind, key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := atomicWrite(path, blob); err != nil {
+		return fmt.Errorf("store: writing %s/%s: %w", kind, key, err)
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ck := compositeKey(kind, key)
+	if old, ok := s.entries[ck]; ok {
+		s.bytes -= old.bytes
+	}
+	s.clock++
+	s.entries[ck] = &entry{kind: kind, key: key, bytes: int64(len(blob)), access: s.clock}
+	s.bytes += int64(len(blob))
+	s.memPutLocked(ck, raw)
+	s.evictLocked(ck)
+	return s.maybeWriteIndexLocked()
+}
+
+// Get loads the blob under (kind, key) into out (a pointer, as for
+// json.Unmarshal) and reports whether it was found intact.  Corrupted blobs
+// are quarantined and reported as misses.  Disk reads and decoding happen
+// outside the store mutex, so a slow read of one blob never stalls other
+// readers or writers.
+func (s *Store) Get(kind Kind, key string, out any) bool {
+	if !kind.valid() || validKey(key) != nil {
+		return false
+	}
+	ck := compositeKey(kind, key)
+
+	s.mu.Lock()
+	raw, inMem := s.mem[ck]
+	indexed := inMem
+	if !inMem {
+		_, indexed = s.entries[ck]
+	}
+	s.mu.Unlock()
+
+	if !indexed {
+		s.count(kind, false)
+		return false
+	}
+	if !inMem {
+		var err error
+		raw, err = s.readBlob(kind, key)
+		if err != nil {
+			// Corrupted — unless the blob was concurrently evicted, which
+			// quarantine() detects and turns into a plain miss.
+			s.quarantine(kind, key, err)
+			s.count(kind, false)
+			return false
+		}
+	}
+	if err := json.Unmarshal(raw, out); err != nil {
+		// The payload does not fit the caller's type; treat as a miss
+		// without blaming the disk blob.
+		s.count(kind, false)
+		return false
+	}
+
+	s.mu.Lock()
+	if inMem {
+		s.memTouchLocked(ck)
+	} else if _, still := s.entries[ck]; still {
+		s.memPutLocked(ck, raw)
+	}
+	s.touchLocked(ck)
+	s.hit(kind)
+	s.mu.Unlock()
+	return true
+}
+
+// count records a hit or miss under the mutex.
+func (s *Store) count(kind Kind, hit bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if hit {
+		s.hit(kind)
+	} else {
+		s.miss(kind)
+	}
+}
+
+// CellHooks returns the sweep cell-cache hooks backed by this store, ready
+// to install as sweep.Options.CellLookup and CellPut: lookups read (and
+// verify) persisted cells, puts persist fresh ones, and put errors are
+// reported to logf (nil for silent) rather than failing the sweep.
+func (s *Store) CellHooks(logf func(format string, args ...any)) (lookup func(sweep.CellKey) (sim.Result, bool), put func(sweep.CellKey, sim.Result)) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	lookup = func(k sweep.CellKey) (sim.Result, bool) {
+		var cell sweep.CellResult
+		if s.Get(KindCell, k.Hash(), &cell) {
+			return cell.Result, true
+		}
+		return sim.Result{}, false
+	}
+	put = func(k sweep.CellKey, res sim.Result) {
+		if err := s.Put(KindCell, k.Hash(), sweep.CellResult{Key: k, Result: res}); err != nil {
+			logf("store: persisting cell %s: %v", k.Hash(), err)
+		}
+	}
+	return lookup, put
+}
+
+// Contains reports whether an intact-looking blob is indexed under
+// (kind, key), without reading or verifying it.
+func (s *Store) Contains(kind Kind, key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.entries[compositeKey(kind, key)]
+	return ok
+}
+
+// Len returns the number of indexed blobs of one kind.
+func (s *Store) Len(kind Kind) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, e := range s.entries {
+		if e.kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+func (s *Store) hit(kind Kind) {
+	if kind == KindSweep {
+		s.stats.SweepHits++
+	} else {
+		s.stats.CellHits++
+	}
+}
+
+func (s *Store) miss(kind Kind) {
+	if kind == KindSweep {
+		s.stats.SweepMisses++
+	} else {
+		s.stats.CellMisses++
+	}
+}
+
+// readBlob reads and verifies one blob, returning its payload bytes.  It
+// takes no lock: blobs are written atomically, so a reader sees either the
+// previous complete blob or the new one.
+func (s *Store) readBlob(kind Kind, key string) ([]byte, error) {
+	data, err := os.ReadFile(s.blobPath(kind, key))
+	if err != nil {
+		return nil, fmt.Errorf("reading blob: %w", err)
+	}
+	var env envelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return nil, fmt.Errorf("parsing blob: %w", err)
+	}
+	if env.Version != Version {
+		return nil, fmt.Errorf("blob version %d, want %d", env.Version, Version)
+	}
+	if env.Kind != kind || env.Key != key {
+		return nil, fmt.Errorf("blob identifies as %s/%s, want %s/%s", env.Kind, env.Key, kind, key)
+	}
+	if got := checksum(env.Payload); got != env.Checksum {
+		return nil, fmt.Errorf("checksum %s, want %s", got, env.Checksum)
+	}
+	return env.Payload, nil
+}
+
+// quarantine moves a failed blob aside unless it is no longer indexed (a
+// concurrent eviction explains the failed read; that is a plain miss).
+func (s *Store) quarantine(kind Kind, key string, cause error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[compositeKey(kind, key)]
+	if !ok {
+		return
+	}
+	s.quarantineLocked(e, cause)
+}
+
+// quarantineLocked moves a failed blob aside and drops it from the index.
+func (s *Store) quarantineLocked(e *entry, cause error) {
+	src := s.blobPath(e.kind, e.key)
+	dst := filepath.Join(s.dir, versionDir, "quarantine", string(e.kind)+"-"+e.key+".json")
+	for i := 1; ; i++ {
+		if _, err := os.Lstat(dst); os.IsNotExist(err) {
+			break
+		}
+		dst = filepath.Join(s.dir, versionDir, "quarantine",
+			fmt.Sprintf("%s-%s.%d.json", e.kind, e.key, i))
+	}
+	if err := os.Rename(src, dst); err != nil {
+		// Renaming failed (e.g. the file vanished); removing the index entry
+		// still turns the blob into a plain miss.
+		s.opt.Logf("store: quarantine of %s/%s failed: %v (cause: %v)", e.kind, e.key, err, cause)
+	} else {
+		s.opt.Logf("store: quarantined %s/%s: %v", e.kind, e.key, cause)
+	}
+	s.dropLocked(e)
+	s.stats.Quarantined++
+	_ = s.writeIndexLocked()
+}
+
+// dropLocked removes an entry from the index and the memory front.
+func (s *Store) dropLocked(e *entry) {
+	ck := compositeKey(e.kind, e.key)
+	if cur, ok := s.entries[ck]; ok && cur == e {
+		delete(s.entries, ck)
+		s.bytes -= e.bytes
+	}
+	if raw, ok := s.mem[ck]; ok {
+		s.memBytes -= int64(len(raw))
+		delete(s.mem, ck)
+		for i, k := range s.memOrder {
+			if k == ck {
+				s.memOrder = append(s.memOrder[:i], s.memOrder[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+// evictLocked deletes least-recently-used blobs until the byte budget is
+// met.  The blob named by keep (the one just written) is evicted last, so a
+// single oversized blob still persists.
+func (s *Store) evictLocked(keep string) {
+	for s.bytes > s.opt.MaxBytes && len(s.entries) > 1 {
+		var victim *entry
+		for ck, e := range s.entries {
+			if ck == keep {
+				continue
+			}
+			if victim == nil || e.access < victim.access {
+				victim = e
+			}
+		}
+		if victim == nil {
+			break
+		}
+		if err := os.Remove(s.blobPath(victim.kind, victim.key)); err != nil && !os.IsNotExist(err) {
+			s.opt.Logf("store: evicting %s/%s: %v", victim.kind, victim.key, err)
+		}
+		s.dropLocked(victim)
+		s.stats.Evictions++
+		s.opt.Logf("store: evicted %s/%s (%d bytes)", victim.kind, victim.key, victim.bytes)
+	}
+	// Deleted files leave the on-disk index stale until the next batched
+	// write (reconcile-on-open heals a crash in that window); rewriting it
+	// per eviction would make every over-budget Put pay a full index
+	// rewrite.  The victim scan is O(entries) per eviction — fine at the
+	// store's scale; revisit with an access-ordered structure if entry
+	// counts grow past ~10^5.
+}
+
+// touchLocked records an access for LRU purposes.
+func (s *Store) touchLocked(ck string) {
+	if e, ok := s.entries[ck]; ok {
+		s.clock++
+		e.access = s.clock
+	}
+}
+
+// memTouchLocked moves a hit key to the most-recently-used end of the
+// front's order, so hot payloads are not evicted in insertion order.
+func (s *Store) memTouchLocked(ck string) {
+	for i, k := range s.memOrder {
+		if k == ck {
+			s.memOrder = append(s.memOrder[:i], s.memOrder[i+1:]...)
+			s.memOrder = append(s.memOrder, ck)
+			return
+		}
+	}
+}
+
+// memPutLocked installs payload bytes in the memory front, which is
+// bounded both by entry count and by total bytes (sweep blobs are large).
+func (s *Store) memPutLocked(ck string, raw []byte) {
+	if old, ok := s.mem[ck]; ok {
+		s.memBytes -= int64(len(old))
+	} else {
+		s.memOrder = append(s.memOrder, ck)
+	}
+	s.mem[ck] = raw
+	s.memBytes += int64(len(raw))
+	for len(s.memOrder) > 1 &&
+		(len(s.memOrder) > s.opt.MemEntries || s.memBytes > s.opt.MemBytes) {
+		oldest := s.memOrder[0]
+		s.memOrder = s.memOrder[1:]
+		s.memBytes -= int64(len(s.mem[oldest]))
+		delete(s.mem, oldest)
+	}
+}
+
+// blobPath returns the on-disk path of a blob, sharded by key prefix so a
+// big store does not put thousands of files in one directory.
+func (s *Store) blobPath(kind Kind, key string) string {
+	prefix := key
+	if len(prefix) > 2 {
+		prefix = prefix[:2]
+	}
+	return filepath.Join(s.dir, versionDir, string(kind), prefix, key+".json")
+}
+
+func compositeKey(kind Kind, key string) string { return string(kind) + "/" + key }
+
+// validKey guards against keys that would escape the data directory.  Keys
+// are content hashes in practice, so anything else is a programming error.
+func validKey(key string) error {
+	if key == "" {
+		return fmt.Errorf("store: empty key")
+	}
+	for _, r := range key {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_', r == '.':
+		default:
+			return fmt.Errorf("store: key %q contains unsafe character %q", key, r)
+		}
+	}
+	if strings.HasPrefix(key, ".") {
+		return fmt.Errorf("store: key %q must not start with a dot", key)
+	}
+	return nil
+}
+
+func checksum(payload []byte) string {
+	sum := sha256.Sum256(payload)
+	return "sha256:" + hex.EncodeToString(sum[:])
+}
+
+// atomicWrite writes data to path via a temp file + fsync + rename, so
+// readers (and crashes) never observe a partial blob and a completed write
+// is durable once the rename lands.
+func atomicWrite(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	// Fsync the directory so the rename itself survives power loss; without
+	// it the blob's directory entry may vanish on crash even though the
+	// data blocks were synced.  Best-effort: not every platform/filesystem
+	// supports syncing directories.
+	if dir, err := os.Open(filepath.Dir(path)); err == nil {
+		_ = dir.Sync()
+		dir.Close()
+	}
+	return nil
+}
+
+// --- index ---
+
+// indexFile is the serialized index: sizes and LRU order survive restarts.
+type indexFile struct {
+	Version int          `json:"version"`
+	Clock   int64        `json:"clock"`
+	Entries []indexEntry `json:"entries"`
+}
+
+type indexEntry struct {
+	Kind   Kind   `json:"kind"`
+	Key    string `json:"key"`
+	Bytes  int64  `json:"bytes"`
+	Access int64  `json:"access"`
+}
+
+func (s *Store) indexPath() string { return filepath.Join(s.dir, versionDir, "index.json") }
+
+// indexWriteInterval batches index writes: the index is a cache of sizes
+// and LRU order, not the source of truth (loadIndex reconciles against the
+// blobs on disk), so persisting it on every put or eviction would only turn
+// an N-cell sweep into N full index rewrites.  It is always written on
+// Close and on quarantine.
+const indexWriteInterval = 64
+
+// maybeWriteIndexLocked persists the index once enough mutations have
+// accumulated since the last write.
+func (s *Store) maybeWriteIndexLocked() error {
+	s.dirty++
+	if s.dirty < indexWriteInterval {
+		return nil
+	}
+	return s.writeIndexLocked()
+}
+
+// writeIndexLocked persists the index atomically.
+func (s *Store) writeIndexLocked() error {
+	idx := indexFile{Version: Version, Clock: s.clock}
+	for _, e := range s.entries {
+		idx.Entries = append(idx.Entries, indexEntry{Kind: e.kind, Key: e.key, Bytes: e.bytes, Access: e.access})
+	}
+	sort.Slice(idx.Entries, func(i, j int) bool {
+		if idx.Entries[i].Kind != idx.Entries[j].Kind {
+			return idx.Entries[i].Kind < idx.Entries[j].Kind
+		}
+		return idx.Entries[i].Key < idx.Entries[j].Key
+	})
+	data, err := json.MarshalIndent(idx, "", "  ")
+	if err != nil {
+		return fmt.Errorf("store: encoding index: %w", err)
+	}
+	if err := atomicWrite(s.indexPath(), data); err != nil {
+		return fmt.Errorf("store: writing index: %w", err)
+	}
+	s.dirty = 0
+	return nil
+}
+
+// loadIndex populates the in-memory index from the index file, then
+// reconciles it against the blobs actually on disk: files missing from the
+// index are adopted (with zero access time, so they are first in line for
+// eviction), index entries whose file vanished are dropped, and sizes are
+// refreshed from the filesystem.
+func (s *Store) loadIndex() error {
+	recorded := make(map[string]indexEntry)
+	if data, err := os.ReadFile(s.indexPath()); err == nil {
+		var idx indexFile
+		if err := json.Unmarshal(data, &idx); err == nil && idx.Version == Version {
+			s.clock = idx.Clock
+			for _, e := range idx.Entries {
+				recorded[compositeKey(e.Kind, e.Key)] = e
+			}
+		} else if err != nil {
+			s.opt.Logf("store: index unreadable, rebuilding: %v", err)
+		}
+	} else if !os.IsNotExist(err) {
+		return fmt.Errorf("store: reading index: %w", err)
+	}
+
+	for _, kind := range []Kind{KindSweep, KindCell} {
+		root := filepath.Join(s.dir, versionDir, string(kind))
+		err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+			if err != nil || d.IsDir() || !strings.HasSuffix(d.Name(), ".json") || strings.HasPrefix(d.Name(), ".") {
+				return err
+			}
+			key := strings.TrimSuffix(d.Name(), ".json")
+			if validKey(key) != nil {
+				return nil
+			}
+			info, err := d.Info()
+			if err != nil {
+				return nil // vanished mid-walk; skip
+			}
+			ck := compositeKey(kind, key)
+			e := &entry{kind: kind, key: key, bytes: info.Size()}
+			if rec, ok := recorded[ck]; ok {
+				e.access = rec.Access
+			}
+			s.entries[ck] = e
+			s.bytes += e.bytes
+			return nil
+		})
+		if err != nil {
+			return fmt.Errorf("store: scanning %s: %w", root, err)
+		}
+	}
+	return nil
+}

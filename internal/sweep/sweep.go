@@ -7,9 +7,6 @@ package sweep
 
 import (
 	"context"
-	"crypto/sha256"
-	"encoding/hex"
-	"encoding/json"
 	"fmt"
 	"runtime"
 	"sort"
@@ -40,6 +37,16 @@ type Options struct {
 	Seed int64
 	// Workers bounds the number of concurrent simulations (default: NumCPU).
 	Workers int
+
+	// CellLookup, when non-nil, is consulted before every simulation with
+	// the cell's canonical key.  A hit is used in place of running the
+	// simulation and counts as an instantly-completed sim in progress
+	// callbacks.  It must be safe for concurrent use.
+	CellLookup func(CellKey) (sim.Result, bool) `json:"-"`
+	// CellPut, when non-nil, receives every freshly computed cell result
+	// (cache hits are not re-announced).  It must be safe for concurrent
+	// use.
+	CellPut func(CellKey, sim.Result) `json:"-"`
 }
 
 // DefaultOptions returns the options used by cmd/refrint-sweep: the scaled
@@ -113,29 +120,32 @@ type optionsKey struct {
 	Seed             int64           `json:"seed"`
 }
 
-// Key returns a stable content hash identifying the sweep's outcome:
-// two Options with equal keys produce identical Results, regardless of
-// worker count.  Defaults are applied first, so an all-zero Options and an
-// explicit DefaultOptions() share a key.  The key is safe for use in URLs
-// and file names.
+// Key returns a stable content hash identifying the sweep's outcome: two
+// Options with equal keys compute the same set of simulation cells with
+// identical per-cell results, regardless of worker count.  Defaults are
+// applied first, so an all-zero Options and an explicit DefaultOptions()
+// share a key.  Apps, RetentionTimesUS and Policies are sorted (on copies,
+// never mutating the caller) before hashing, so permuted but equivalent
+// requests share a cache/store slot.  Note the one consequence of that
+// sharing: the series *order* of a cached Results follows whichever
+// permutation executed first, not the caller's — the data is identical
+// cell-for-cell.  The key is safe for use in URLs and file names.
 func (o Options) Key() string {
 	o = o.normalise()
-	payload, err := json.Marshal(optionsKey{
+	apps := append([]string(nil), o.Apps...)
+	sort.Strings(apps)
+	retentions := append([]float64(nil), o.RetentionTimesUS...)
+	sort.Float64s(retentions)
+	policies := append([]config.Policy(nil), o.Policies...)
+	sort.Slice(policies, func(i, j int) bool { return policies[i].String() < policies[j].String() })
+	return config.HashJSON(optionsKey{
 		Base:             o.Base,
-		Apps:             o.Apps,
-		RetentionTimesUS: o.RetentionTimesUS,
-		Policies:         o.Policies,
+		Apps:             apps,
+		RetentionTimesUS: retentions,
+		Policies:         policies,
 		EffortScale:      o.EffortScale,
 		Seed:             o.Seed,
 	})
-	if err != nil {
-		// Config is a tree of plain structs; marshalling cannot fail unless a
-		// policy is invalid, in which case the label of the bad value still
-		// yields a usable (if non-canonical) key.
-		payload = []byte(fmt.Sprintf("%+v", o))
-	}
-	sum := sha256.Sum256(payload)
-	return hex.EncodeToString(sum[:16])
 }
 
 // Point identifies one cell of the sweep: a policy at a retention time (or
@@ -243,6 +253,10 @@ func ExecuteContext(ctx context.Context, opts Options, progress func(Progress)) 
 	}
 
 	total := len(jobs)
+	var keyer cellKeyer
+	if opts.CellLookup != nil || opts.CellPut != nil {
+		keyer = opts.cellKeyer()
+	}
 	var (
 		mu       sync.Mutex
 		wg       sync.WaitGroup
@@ -266,7 +280,7 @@ func ExecuteContext(ctx context.Context, opts Options, progress func(Progress)) 
 			if ctx.Err() != nil {
 				return
 			}
-			run, err := runOne(opts, j.app, j.point)
+			run, err := resolveCell(opts, keyer, j.app, j.point)
 			mu.Lock()
 			if err != nil {
 				if firstErr == nil {
@@ -294,6 +308,24 @@ func ExecuteContext(ctx context.Context, opts Options, progress func(Progress)) 
 		return nil, firstErr
 	}
 	return res, nil
+}
+
+// resolveCell produces the run for one cell, consulting the cell-level
+// result cache hooks when installed: a CellLookup hit replaces the
+// simulation outright, and every freshly computed result is offered to
+// CellPut.  The keyer carries the sweep-constant key fields so the config
+// hash is not recomputed per cell.
+func resolveCell(opts Options, keyer cellKeyer, appName string, pt Point) (Run, error) {
+	if opts.CellLookup != nil {
+		if res, ok := opts.CellLookup(keyer.key(appName, pt)); ok {
+			return Run{App: appName, Point: pt, Result: res}, nil
+		}
+	}
+	run, err := runOne(opts, appName, pt)
+	if err == nil && opts.CellPut != nil {
+		opts.CellPut(keyer.key(appName, pt), run.Result)
+	}
+	return run, err
 }
 
 // runOne executes a single (application, point) simulation.

@@ -192,6 +192,32 @@ func Simulate(req SimRequest) (Result, error) {
 // SweepProgress reports how far a running sweep has advanced.
 type SweepProgress = sweep.Progress
 
+// CellKey is the canonical identity of one simulation cell of a sweep: the
+// (application, policy, retention, seed, base configuration, effort) tuple
+// that fully determines a single Result.  Cells with equal keys compute
+// identical results even across different sweeps, which is what lets a
+// persistent store share them between overlapping submissions.
+type CellKey = sweep.CellKey
+
+// CellResult is the wire (and stored) form of one completed simulation
+// cell: its key plus the raw result.
+type CellResult = sweep.CellResult
+
+// SweepCellKey returns the canonical key of one cell of a sweep: app at a
+// policy label ("SRAM" for the baseline) and retention time.  The retention
+// time is ignored for the baseline, which is keyed with retention zero.
+func SweepCellKey(opts SweepOptions, app, policyLabel string, retentionUS float64) (CellKey, error) {
+	p, err := ParsePolicy(policyLabel)
+	if err != nil {
+		return CellKey{}, err
+	}
+	pt := sweep.Point{RetentionUS: retentionUS, Policy: p}
+	if p.Time == config.NoRefresh {
+		pt.RetentionUS = 0
+	}
+	return opts.CellKey(app, pt), nil
+}
+
 // SweepRequest is the JSON wire form of a sweep submission, as accepted by
 // the refrint-serve API (POST /v1/sweeps).  Zero values mean "the paper's
 // default": all applications, retention times 50/100/200 us, the 14 policies

@@ -86,6 +86,55 @@ func TestSweepKeySemantics(t *testing.T) {
 	if apps.Key() == base.Key() {
 		t.Errorf("app selection change did not change the key")
 	}
+
+	// Permuting the request must not change the key: overlapping sweeps
+	// share cache and store slots regardless of field order.
+	permuted := base
+	permuted.Apps = append([]string(nil), base.Apps...)
+	for i, j := 0, len(permuted.Apps)-1; i < j; i, j = i+1, j-1 {
+		permuted.Apps[i], permuted.Apps[j] = permuted.Apps[j], permuted.Apps[i]
+	}
+	permuted.RetentionTimesUS = []float64{200, 50, 100}
+	if permuted.Key() != base.Key() {
+		t.Errorf("permuted options key %q differs from %q", permuted.Key(), base.Key())
+	}
+}
+
+// TestSweepCellKey covers the public cell-key helper: baselines are keyed
+// retention-free, every axis moves the hash, and worker count never does.
+func TestSweepCellKey(t *testing.T) {
+	opts := QuickSweep()
+
+	k, err := SweepCellKey(opts, "FFT", "R.WB(32,32)", Retention50us)
+	if err != nil {
+		t.Fatalf("SweepCellKey: %v", err)
+	}
+	if k.App != "FFT" || k.RetentionUS != Retention50us || k.ConfigHash == "" {
+		t.Fatalf("cell key fields wrong: %+v", k)
+	}
+
+	if _, err := SweepCellKey(opts, "FFT", "Q.bogus", Retention50us); err == nil {
+		t.Error("bogus policy label accepted")
+	}
+
+	sram, err := SweepCellKey(opts, "FFT", "SRAM", Retention100us)
+	if err != nil {
+		t.Fatalf("SRAM cell key: %v", err)
+	}
+	if sram.RetentionUS != 0 {
+		t.Errorf("baseline cell keyed with retention %g, want 0 (retention-free)", sram.RetentionUS)
+	}
+
+	other, _ := SweepCellKey(opts, "LU", "R.WB(32,32)", Retention50us)
+	if other.Hash() == k.Hash() {
+		t.Error("different app produced the same cell hash")
+	}
+	fast := opts
+	fast.Workers = 64
+	same, _ := SweepCellKey(fast, "FFT", "R.WB(32,32)", Retention50us)
+	if same.Hash() != k.Hash() {
+		t.Error("worker count changed a cell hash")
+	}
 }
 
 // TestSweepRequestValidation rejects requests the service must never run.
