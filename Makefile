@@ -1,0 +1,35 @@
+# Developer entry points.  CI runs the same targets; see .github/workflows/ci.yml.
+
+GO ?= go
+
+.PHONY: build test race bench bench-baseline bench-compare fmt vet
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+fmt:
+	gofmt -l .
+
+vet:
+	$(GO) vet ./...
+
+# Run the hot-path benchmark suite (5 iterations, with allocation counts).
+bench:
+	scripts/bench.sh bench/current.txt
+
+# Regenerate the committed benchmark baseline.  Run on a quiet machine and
+# commit bench/baseline.txt together with the change that moved the numbers.
+bench-baseline:
+	scripts/bench.sh bench/baseline.txt
+
+# Compare the current tree against the committed baseline.  benchstat is
+# fetched on demand; the comparison is advisory (machines differ), so CI
+# treats regressions as warnings, not failures.
+bench-compare: bench
+	$(GO) run golang.org/x/perf/cmd/benchstat@latest bench/baseline.txt bench/current.txt

@@ -11,6 +11,7 @@ package cache
 
 import (
 	"fmt"
+	"unsafe"
 
 	"refrint/internal/config"
 	"refrint/internal/mem"
@@ -21,7 +22,11 @@ type Cache struct {
 	cfg   config.CacheConfig
 	sets  int
 	ways  int
-	lines []mem.Line // sets*ways entries; set s occupies [s*ways, (s+1)*ways)
+	shift uint // index shift (bank-select bits), hoisted from the config
+	// setMask is sets-1 when the set count is a power of two (the common
+	// case), letting setOf mask instead of divide; -1 otherwise.
+	setMask int
+	lines   []mem.Line // sets*ways entries; set s occupies [s*ways, (s+1)*ways)
 }
 
 // New builds an empty cache bank from its configuration.
@@ -30,11 +35,17 @@ func New(cfg config.CacheConfig) *Cache {
 		panic(fmt.Sprintf("cache: invalid config: %v", err))
 	}
 	sets := cfg.Sets()
+	mask := -1
+	if sets > 0 && sets&(sets-1) == 0 {
+		mask = sets - 1
+	}
 	return &Cache{
-		cfg:   cfg,
-		sets:  sets,
-		ways:  cfg.Ways,
-		lines: make([]mem.Line, sets*cfg.Ways),
+		cfg:     cfg,
+		sets:    sets,
+		ways:    cfg.Ways,
+		shift:   uint(cfg.IndexShift),
+		setMask: mask,
+		lines:   make([]mem.Line, sets*cfg.Ways),
 	}
 }
 
@@ -54,7 +65,11 @@ func (c *Cache) Ways() int { return c.ways }
 // caches skip the bank-select bits via the configuration's IndexShift so
 // that all sets of the bank are usable.
 func (c *Cache) setOf(addr mem.LineAddr) int {
-	return int((uint64(addr) >> uint(c.cfg.IndexShift)) % uint64(c.sets))
+	idx := uint64(addr) >> c.shift
+	if c.setMask >= 0 {
+		return int(idx) & c.setMask
+	}
+	return int(idx % uint64(c.sets))
 }
 
 // LineAt returns the line frame with the given flat index
@@ -62,31 +77,27 @@ func (c *Cache) setOf(addr mem.LineAddr) int {
 func (c *Cache) LineAt(idx int) *mem.Line { return &c.lines[idx] }
 
 // IndexOf returns the flat index of a line frame previously returned by
-// Probe or Insert.  For a frame holding a tag it is O(ways); for other
-// frames it falls back to a linear scan.
+// Probe, Victim or Insert, in O(1) by pointer arithmetic over the contiguous
+// lines slice.  Pointers outside the slice return -1.  The refresh machinery
+// (package core) calls this on every demand access, so it must stay cheap.
 func (c *Cache) IndexOf(l *mem.Line) int {
-	base := c.setOf(l.Tag) * c.ways
-	for w := 0; w < c.ways; w++ {
-		if &c.lines[base+w] == l {
-			return base + w
-		}
+	off := uintptr(unsafe.Pointer(l)) - uintptr(unsafe.Pointer(&c.lines[0]))
+	idx := int(off / unsafe.Sizeof(mem.Line{}))
+	if uint(idx) >= uint(len(c.lines)) || &c.lines[idx] != l {
+		return -1
 	}
-	for i := range c.lines {
-		if &c.lines[i] == l {
-			return i
-		}
-	}
-	return -1
+	return idx
 }
 
 // Probe looks up addr and returns its line frame if present with a valid
 // state.  It does not update replacement state; use Touch for that.
 func (c *Cache) Probe(addr mem.LineAddr) (*mem.Line, bool) {
-	set := c.setOf(addr)
-	base := set * c.ways
-	for w := 0; w < c.ways; w++ {
-		l := &c.lines[base+w]
-		if l.Valid() && l.Tag == addr {
+	base := c.setOf(addr) * c.ways
+	set := c.lines[base : base+c.ways]
+	for i := range set {
+		l := &set[i]
+		// Tag first: almost every scanned frame fails this cheaper test.
+		if l.Tag == addr && l.Valid() {
 			return l, true
 		}
 	}
@@ -106,11 +117,11 @@ func (c *Cache) Touch(l *mem.Line, now int64) {
 // Victim returns the line frame that Insert would replace for addr: an
 // invalid frame in the set if one exists, otherwise the LRU valid frame.
 func (c *Cache) Victim(addr mem.LineAddr) *mem.Line {
-	set := c.setOf(addr)
-	base := set * c.ways
+	base := c.setOf(addr) * c.ways
+	set := c.lines[base : base+c.ways]
 	var victim *mem.Line
-	for w := 0; w < c.ways; w++ {
-		l := &c.lines[base+w]
+	for i := range set {
+		l := &set[i]
 		if !l.Valid() {
 			return l
 		}
@@ -191,4 +202,18 @@ func (c *Cache) Flush() []mem.Line {
 		c.lines[i].Reset()
 	}
 	return dirty
+}
+
+// FlushCount invalidates every line and returns how many were dirty, for
+// callers (the end-of-run flush) that only charge writeback counts and do
+// not need the line copies.  clear() zeroes the array in one memclr.
+func (c *Cache) FlushCount() int64 {
+	n := int64(0)
+	for i := range c.lines {
+		if c.lines[i].Dirty() {
+			n++
+		}
+	}
+	clear(c.lines)
+	return n
 }

@@ -18,7 +18,11 @@
 // simulator from the owner's real cache state.
 package coherence
 
-import "refrint/internal/mem"
+import (
+	"math/bits"
+
+	"refrint/internal/mem"
+)
 
 // DirState is the directory's view of a line.
 type DirState uint8
@@ -65,13 +69,7 @@ func (e *Entry) reset() {
 func (e *Entry) HasSharer(core int) bool { return e.Sharers&(1<<uint(core)) != 0 }
 
 // NumSharers returns the number of private caches holding the line.
-func (e *Entry) NumSharers() int {
-	n := 0
-	for m := e.Sharers; m != 0; m &= m - 1 {
-		n++
-	}
-	return n
-}
+func (e *Entry) NumSharers() int { return bits.OnesCount32(e.Sharers) }
 
 // SharerList returns the core ids of all sharers.
 func (e *Entry) SharerList() []int {
@@ -84,12 +82,39 @@ func (e *Entry) SharerList() []int {
 	return out
 }
 
+// CoreSet is an allocation-free set of core ids (the full-map directory
+// supports up to 32 cores).  The zero value is the empty set.
+type CoreSet uint32
+
+// Len returns the number of cores in the set.
+func (s CoreSet) Len() int { return bits.OnesCount32(uint32(s)) }
+
+// Empty reports whether the set has no cores.
+func (s CoreSet) Empty() bool { return s == 0 }
+
+// Contains reports whether core is in the set.
+func (s CoreSet) Contains(core int) bool { return s&(1<<uint(core)) != 0 }
+
+// Pop removes and returns the lowest-numbered core of a non-empty set along
+// with the remaining set, so callers iterate in ascending core order without
+// allocating:
+//
+//	for cs := act.Invalidates; !cs.Empty(); {
+//		var c int
+//		c, cs = cs.Pop()
+//		...
+//	}
+func (s CoreSet) Pop() (core int, rest CoreSet) {
+	core = bits.TrailingZeros32(uint32(s))
+	return core, s & (s - 1)
+}
+
 // Action describes the coherence work an access or invalidation implies.
 // The simulator turns each element into network messages and cache
 // operations.
 type Action struct {
-	// InvalidateCores are cores whose private copies must be invalidated.
-	InvalidateCores []int
+	// Invalidates are cores whose private copies must be invalidated.
+	Invalidates CoreSet
 	// DowngradeCore is a core that must downgrade M->S and write its dirty
 	// data back to the L3 (-1 if none).
 	DowngradeCore int
@@ -102,9 +127,22 @@ type Action struct {
 }
 
 // Directory is the full-map MESI directory for one L3 bank.
+//
+// The line table is a deterministic open-addressing hash table (linear
+// probing, backward-shift deletion) rather than a Go map: the directory is
+// consulted on every L3 access, and the custom table removes hashing and
+// bucket-group overhead from that path while allocating only on growth.
+// Entry pointers returned by Lookup/entry are valid only until the next
+// mutating directory operation: inserting a previously unseen line may grow
+// the table, and InvalidateLine's backward-shift deletion relocates entries
+// even without an insert.  Every caller must finish with an entry before
+// the next directory call.
 type Directory struct {
-	cores   int
-	entries map[mem.LineAddr]*Entry
+	cores int
+	keys  []mem.LineAddr
+	vals  []Entry
+	used  []bool
+	count int
 
 	// Counters.
 	invalidationsSent int64
@@ -112,28 +150,129 @@ type Directory struct {
 	dirtyForwards     int64
 }
 
+// dirInitialSlots is the starting table size (a power of two).
+const dirInitialSlots = 256
+
 // New builds an empty directory for a bank shared by `cores` cores.
 func New(cores int) *Directory {
-	return &Directory{cores: cores, entries: make(map[mem.LineAddr]*Entry)}
+	return &Directory{
+		cores: cores,
+		keys:  make([]mem.LineAddr, dirInitialSlots),
+		vals:  make([]Entry, dirInitialSlots),
+		used:  make([]bool, dirInitialSlots),
+	}
+}
+
+// dirHash finalises a line address into a well-mixed slot hash
+// (the splitmix64 finaliser).
+func dirHash(a mem.LineAddr) uint64 {
+	x := uint64(a)
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// findSlot returns the slot holding addr, or -1.
+func (d *Directory) findSlot(addr mem.LineAddr) int {
+	mask := uint64(len(d.keys) - 1)
+	for i := dirHash(addr) & mask; d.used[i]; i = (i + 1) & mask {
+		if d.keys[i] == addr {
+			return int(i)
+		}
+	}
+	return -1
+}
+
+// grow doubles the table and re-inserts every entry.
+func (d *Directory) grow() {
+	oldKeys, oldVals, oldUsed := d.keys, d.vals, d.used
+	n := len(oldKeys) * 2
+	d.keys = make([]mem.LineAddr, n)
+	d.vals = make([]Entry, n)
+	d.used = make([]bool, n)
+	mask := uint64(n - 1)
+	for i, ok := range oldUsed {
+		if !ok {
+			continue
+		}
+		j := dirHash(oldKeys[i]) & mask
+		for d.used[j] {
+			j = (j + 1) & mask
+		}
+		d.keys[j] = oldKeys[i]
+		d.vals[j] = oldVals[i]
+		d.used[j] = true
+	}
 }
 
 // entry returns the record for addr, creating it Uncached if absent.
 func (d *Directory) entry(addr mem.LineAddr) *Entry {
-	e, ok := d.entries[addr]
-	if !ok {
-		e = &Entry{Owner: -1}
-		d.entries[addr] = e
+	if i := d.findSlot(addr); i >= 0 {
+		return &d.vals[i]
 	}
+	if (d.count+1)*4 >= len(d.keys)*3 {
+		d.grow()
+	}
+	mask := uint64(len(d.keys) - 1)
+	i := dirHash(addr) & mask
+	for d.used[i] {
+		i = (i + 1) & mask
+	}
+	d.keys[i] = addr
+	d.used[i] = true
+	d.count++
+	e := &d.vals[i]
+	e.Sharers = 0
+	e.Owner = -1
+	e.State = Uncached
 	return e
+}
+
+// remove deletes addr's slot, restoring the linear-probing invariant by
+// backward-shifting displaced entries into the hole.
+func (d *Directory) remove(addr mem.LineAddr) {
+	s := d.findSlot(addr)
+	if s < 0 {
+		return
+	}
+	mask := uint64(len(d.keys) - 1)
+	i := uint64(s)
+	for {
+		d.used[i] = false
+		j := i
+		for {
+			j = (j + 1) & mask
+			if !d.used[j] {
+				d.count--
+				return
+			}
+			// Slot j's entry may fill the hole at i only if its home slot is
+			// not cyclically inside (i, j] — otherwise probing would no
+			// longer reach it.
+			if h := dirHash(d.keys[j]) & mask; (j-h)&mask >= (j-i)&mask {
+				d.keys[i] = d.keys[j]
+				d.vals[i] = d.vals[j]
+				d.used[i] = true
+				i = j
+				break
+			}
+		}
+	}
 }
 
 // Lookup returns the entry for addr, or nil if the directory has no record.
 func (d *Directory) Lookup(addr mem.LineAddr) *Entry {
-	return d.entries[addr]
+	if i := d.findSlot(addr); i >= 0 {
+		return &d.vals[i]
+	}
+	return nil
 }
 
 // Entries returns the number of tracked lines.
-func (d *Directory) Entries() int { return len(d.entries) }
+func (d *Directory) Entries() int { return d.count }
 
 // InvalidationsSent returns the number of invalidation messages generated.
 func (d *Directory) InvalidationsSent() int64 { return d.invalidationsSent }
@@ -190,13 +329,8 @@ func (d *Directory) Write(addr mem.LineAddr, core int) Action {
 	if e.State == OwnedModified && e.Owner == core {
 		return act // silent upgrade of the current owner
 	}
-	for _, sharer := range e.SharerList() {
-		if sharer == core {
-			continue
-		}
-		act.InvalidateCores = append(act.InvalidateCores, sharer)
-		d.invalidationsSent++
-	}
+	act.Invalidates = CoreSet(e.Sharers) &^ (1 << uint(core))
+	d.invalidationsSent += int64(act.Invalidates.Len())
 	if e.State == OwnedModified && e.Owner != core {
 		act.DirtyForward = true
 		act.WritebackToL3 = true
@@ -211,8 +345,8 @@ func (d *Directory) Write(addr mem.LineAddr, core int) Action {
 // SharerEvicted records that core silently evicted its private copy of addr
 // (clean eviction).  Dirty private evictions should use SharerWroteBack.
 func (d *Directory) SharerEvicted(addr mem.LineAddr, core int) {
-	e, ok := d.entries[addr]
-	if !ok {
+	e := d.Lookup(addr)
+	if e == nil {
 		return
 	}
 	e.Sharers &^= 1 << uint(core)
@@ -230,8 +364,8 @@ func (d *Directory) SharerEvicted(addr mem.LineAddr, core int) {
 // SharerWroteBack records that core evicted a dirty private copy of addr and
 // wrote the data back to the L3.
 func (d *Directory) SharerWroteBack(addr mem.LineAddr, core int) {
-	e, ok := d.entries[addr]
-	if !ok {
+	e := d.Lookup(addr)
+	if e == nil {
 		return
 	}
 	e.Sharers &^= 1 << uint(core)
@@ -252,14 +386,12 @@ func (d *Directory) SharerWroteBack(addr mem.LineAddr, core int) {
 // is going away).
 func (d *Directory) InvalidateLine(addr mem.LineAddr) Action {
 	act := Action{DowngradeCore: -1}
-	e, ok := d.entries[addr]
-	if !ok {
+	e := d.Lookup(addr)
+	if e == nil {
 		return act
 	}
-	for _, sharer := range e.SharerList() {
-		act.InvalidateCores = append(act.InvalidateCores, sharer)
-		d.invalidationsSent++
-	}
+	act.Invalidates = CoreSet(e.Sharers)
+	d.invalidationsSent += int64(act.Invalidates.Len())
 	if e.Owner >= 0 {
 		// Either a recorded Modified owner or an exclusive grant holder that
 		// may have silently modified its copy.
@@ -268,14 +400,14 @@ func (d *Directory) InvalidateLine(addr mem.LineAddr) Action {
 			d.dirtyForwards++
 		}
 	}
-	delete(d.entries, addr)
+	d.remove(addr)
 	return act
 }
 
 // HasUpperCopies reports whether any private cache still holds addr.
 func (d *Directory) HasUpperCopies(addr mem.LineAddr) bool {
-	e, ok := d.entries[addr]
-	return ok && e.Sharers != 0
+	e := d.Lookup(addr)
+	return e != nil && e.Sharers != 0
 }
 
 // OwnedDirtyAbove reports whether some private cache holds addr Modified,
@@ -284,6 +416,6 @@ func (d *Directory) HasUpperCopies(addr mem.LineAddr) bool {
 // the same state, behave differently"), but the simulator needs it to keep
 // the data correct when such a line is invalidated.
 func (d *Directory) OwnedDirtyAbove(addr mem.LineAddr) bool {
-	e, ok := d.entries[addr]
-	return ok && e.State == OwnedModified
+	e := d.Lookup(addr)
+	return e != nil && e.State == OwnedModified
 }

@@ -20,7 +20,7 @@ func TestDirStateString(t *testing.T) {
 func TestReadFromUncached(t *testing.T) {
 	d := New(16)
 	act := d.Read(0x10, 3)
-	if len(act.InvalidateCores) != 0 || act.DowngradeCore != -1 || act.DirtyForward {
+	if !act.Invalidates.Empty() || act.DowngradeCore != -1 || act.DirtyForward {
 		t.Errorf("read of uncached line should need no coherence work: %+v", act)
 	}
 	e := d.Lookup(0x10)
@@ -34,7 +34,7 @@ func TestMultipleReaders(t *testing.T) {
 	d.Read(0x10, 1)
 	d.Read(0x10, 2)
 	act := d.Read(0x10, 5)
-	if len(act.InvalidateCores) != 0 {
+	if !act.Invalidates.Empty() {
 		t.Error("readers never invalidate each other")
 	}
 	e := d.Lookup(0x10)
@@ -52,13 +52,14 @@ func TestWriteInvalidatesSharers(t *testing.T) {
 	d.Read(0x20, 1)
 	d.Read(0x20, 2)
 	act := d.Write(0x20, 1)
-	if len(act.InvalidateCores) != 2 {
-		t.Fatalf("invalidations = %v, want cores 0 and 2", act.InvalidateCores)
+	if act.Invalidates.Len() != 2 {
+		t.Fatalf("invalidations = %v, want cores 0 and 2", act.Invalidates)
 	}
-	for _, c := range act.InvalidateCores {
-		if c == 1 {
-			t.Error("writer must not invalidate itself")
-		}
+	if act.Invalidates.Contains(1) {
+		t.Error("writer must not invalidate itself")
+	}
+	if !act.Invalidates.Contains(0) || !act.Invalidates.Contains(2) {
+		t.Errorf("invalidations = %v, want cores 0 and 2", act.Invalidates)
 	}
 	e := d.Lookup(0x20)
 	if e.State != OwnedModified || e.Owner != 1 || e.NumSharers() != 1 || !e.HasSharer(1) {
@@ -97,7 +98,7 @@ func TestOwnerReadAndWriteAreSilent(t *testing.T) {
 	if act := d.Read(0x40, 2); act.DowngradeCore != -1 || act.DirtyForward {
 		t.Errorf("owner read should be silent: %+v", act)
 	}
-	if act := d.Write(0x40, 2); len(act.InvalidateCores) != 0 || act.DirtyForward {
+	if act := d.Write(0x40, 2); !act.Invalidates.Empty() || act.DirtyForward {
 		t.Errorf("owner write should be silent: %+v", act)
 	}
 	e := d.Lookup(0x40)
@@ -110,8 +111,8 @@ func TestWriteAfterModifiedByOther(t *testing.T) {
 	d := New(16)
 	d.Write(0x50, 0)
 	act := d.Write(0x50, 9)
-	if len(act.InvalidateCores) != 1 || act.InvalidateCores[0] != 0 {
-		t.Errorf("invalidations = %v, want [0]", act.InvalidateCores)
+	if act.Invalidates.Len() != 1 || !act.Invalidates.Contains(0) {
+		t.Errorf("invalidations = %v, want {0}", act.Invalidates)
 	}
 	if !act.DirtyForward {
 		t.Error("dirty data must be forwarded from the previous owner")
@@ -164,7 +165,7 @@ func TestInvalidateLineInclusive(t *testing.T) {
 	d.Read(0x90, 1)
 	d.Read(0x90, 2)
 	act := d.InvalidateLine(0x90)
-	if len(act.InvalidateCores) != 2 {
+	if act.Invalidates.Len() != 2 {
 		t.Errorf("inclusive invalidation should hit both sharers: %+v", act)
 	}
 	if act.DirtyForward {
@@ -176,12 +177,12 @@ func TestInvalidateLineInclusive(t *testing.T) {
 
 	d.Write(0xa0, 5)
 	act = d.InvalidateLine(0xa0)
-	if len(act.InvalidateCores) != 1 || !act.DirtyForward {
+	if act.Invalidates.Len() != 1 || !act.DirtyForward {
 		t.Errorf("invalidating a line owned dirty above must force a writeback: %+v", act)
 	}
 	// Invalidating an untracked line is a no-op action.
 	act = d.InvalidateLine(0xfff)
-	if len(act.InvalidateCores) != 0 || act.DirtyForward {
+	if !act.Invalidates.Empty() || act.DirtyForward {
 		t.Errorf("untracked invalidation should be empty: %+v", act)
 	}
 }

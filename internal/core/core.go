@@ -55,15 +55,42 @@ type Bank struct {
 	arr   *cache.Cache
 	ret   edram.Retention
 	sched edram.PeriodicSchedule
-	wheel *event.Wheel
-	// sentryDeadline[idx] is the currently registered sentry deadline of the
-	// line frame idx.  Wheel entries that do not match it are stale (the
-	// line was touched, refilled or replaced after they were scheduled) and
-	// are dropped when popped, so each frame has exactly one live entry.
-	sentryDeadline []int64
+	// wheel holds the pending sentry-decay deadline of each line frame
+	// (Refrint banks only).  The FrameWheel keeps exactly one live deadline
+	// per frame — rescheduling moves the frame's node — so draining never
+	// sees stale entries and scheduling never allocates.
+	wheel *event.FrameWheel
+	// dueBuf is the reusable drain buffer for sentry interrupts, so a
+	// steady-state AdvanceTo performs no allocation.  Safe because a bank's
+	// refresh hooks never re-enter the same bank's AdvanceTo.
+	dueBuf []event.WheelEntry
+
+	// Per-group occupancy for Periodic sweeps (nil for other banks):
+	// groupValid[g] and groupDirty[g] count the valid and dirty (Modified)
+	// lines in sweep group g, so advancePeriodic skips empty groups entirely
+	// and stops scanning a group once every valid line has been visited.
+	// Only the simulator's bookkeeping is skipped; the modelled port
+	// blocking of a sweep is charged regardless of occupancy.
+	groupValid    []int32
+	groupDirty    []int32
+	linesPerGroup int
+
+	// Hot-path precomputation: refreshable caches Refreshable(); for
+	// Periodic banks sweepInterval/blockCycles mirror the schedule and
+	// nextFire is the cycle of the next group firing, giving AdvanceTo an
+	// O(1) "nothing due" test without touching the schedule arithmetic.
+	refreshable   bool
+	sweepInterval int64
+	blockCycles   int64
+	nextFire      int64
+	// mayDecay is false when the policy structurally recharges every line
+	// within its retention period (Periodic All/Valid), letting Probe skip
+	// the decay test.  Matches the sweeps' skipped LastRefresh stores.
+	mayDecay bool
 
 	hooks Hooks
 	st    *stats.Stats
+	ctr   *stats.LevelCounters // st.Level(level), hoisted off the hot path
 
 	// portBusyUntil is the cycle up to which the bank's port is occupied by
 	// refresh work.  Demand accesses arriving earlier wait.
@@ -89,19 +116,49 @@ func NewBank(cacheCfg config.CacheConfig, cell config.CellConfig, policy config.
 		ret:      edram.NewRetention(cell),
 		hooks:    hooks,
 		st:       st,
+		ctr:      st.Level(level),
 	}
-	if b.Refreshable() {
+	b.refreshable = b.cell.Refreshable() && b.policy.Time != config.NoRefresh
+	b.mayDecay = b.refreshable &&
+		!(b.policy.Time == config.PeriodicTime &&
+			(b.policy.Data == config.AllData || b.policy.Data == config.ValidData))
+	if b.refreshable {
 		if err := b.ret.Validate(); err != nil {
 			panic(fmt.Sprintf("core: %v", err))
 		}
 		b.sched = edram.NewPeriodicSchedule(b.ret, cacheCfg.SubArrays, b.arr.NumLines())
-		b.wheel = event.NewWheel(64)
-		b.sentryDeadline = make([]int64, b.arr.NumLines())
-		for i := range b.sentryDeadline {
-			b.sentryDeadline[i] = -1
+		switch policy.Time {
+		case config.RefrintTime:
+			// Size the wheel's ring to the sentry horizon: deadlines are
+			// normally scheduled at most one sentry period past the drain
+			// point, so a horizon-sized ring makes ring growth (the wheel's
+			// escape hatch for port-backlogged deadlines) a rare event.
+			b.wheel = event.NewFrameWheel(64, b.arr.NumLines(), b.ret.SentryCycles)
+		case config.PeriodicTime:
+			b.linesPerGroup = b.sched.LinesPerGroup()
+			b.groupValid = make([]int32, b.sched.Groups)
+			b.groupDirty = make([]int32, b.sched.Groups)
+			// Mirrors GroupAt: firing k happens at (k+1)*(Period/Groups).
+			b.sweepInterval = b.sched.Period / int64(b.sched.Groups)
+			b.blockCycles = b.sched.BlockCycles()
+			b.nextFire = b.sweepInterval
 		}
 	}
 	return b
+}
+
+// noteValid adjusts the valid-line count of frame idx's sweep group.
+func (b *Bank) noteValid(idx int, delta int32) {
+	if b.groupValid != nil {
+		b.groupValid[idx/b.linesPerGroup] += delta
+	}
+}
+
+// noteDirty adjusts the dirty-line count of frame idx's sweep group.
+func (b *Bank) noteDirty(idx int, delta int32) {
+	if b.groupDirty != nil {
+		b.groupDirty[idx/b.linesPerGroup] += delta
+	}
 }
 
 // Cache exposes the underlying array (tests and the hierarchy use it for
@@ -116,12 +173,10 @@ func (b *Bank) Level() stats.Level { return b.level }
 
 // Refreshable reports whether the bank is built from eDRAM and therefore
 // needs refresh.
-func (b *Bank) Refreshable() bool {
-	return b.cell.Refreshable() && b.policy.Time != config.NoRefresh
-}
+func (b *Bank) Refreshable() bool { return b.refreshable }
 
 // counters returns the stats counters for this bank's level.
-func (b *Bank) counters() *stats.LevelCounters { return b.st.Level(b.level) }
+func (b *Bank) counters() *stats.LevelCounters { return b.ctr }
 
 // PortStart returns the earliest cycle at or after `now` at which a demand
 // access can use the bank port, given pending refresh work.  It also records
@@ -152,12 +207,9 @@ func (b *Bank) scheduleSentry(idx int, l *mem.Line) {
 	if b.wheel == nil || b.policy.Time != config.RefrintTime || idx < 0 {
 		return
 	}
-	deadline := b.ret.SentryDeadline(l.LastRefresh)
-	if b.sentryDeadline[idx] == deadline {
-		return // already registered
-	}
-	b.sentryDeadline[idx] = deadline
-	b.wheel.Schedule(deadline, int64(idx))
+	// The wheel moves the frame's node to the new deadline (or does nothing
+	// if it is unchanged), so earlier deadlines of this frame never linger.
+	b.wheel.Schedule(b.ret.SentryDeadline(l.LastRefresh), idx)
 }
 
 // resetCount re-arms the WB(n,m) budget of a line after a normal access,
@@ -182,7 +234,7 @@ func (b *Bank) Probe(addr mem.LineAddr, now int64) (*mem.Line, bool) {
 	if !ok {
 		return nil, false
 	}
-	if b.Refreshable() && b.ret.Decayed(l.LastRefresh, now) {
+	if b.mayDecay && b.ret.Decayed(l.LastRefresh, now) {
 		// Data lost.  Dirty data that decays silently would be a correctness
 		// bug in a real system; the policies are designed never to let that
 		// happen, and the counter lets tests assert it.
@@ -190,7 +242,19 @@ func (b *Bank) Probe(addr mem.LineAddr, now int64) (*mem.Line, bool) {
 		if b.hooks.Invalidate != nil {
 			b.hooks.Invalidate(l.Tag, l.Dirty(), now)
 		}
-		l.Reset()
+		// The hook can re-enter this bank and invalidate the frame itself
+		// (an L2 decay writeback probes the home L3, whose sweep may send an
+		// inclusion invalidation right back); only account the line once.
+		if l.Valid() {
+			if b.groupValid != nil {
+				idx := b.arr.IndexOf(l)
+				b.noteValid(idx, -1)
+				if l.Dirty() {
+					b.noteDirty(idx, -1)
+				}
+			}
+			l.Reset()
+		}
 		return nil, false
 	}
 	return l, true
@@ -211,31 +275,79 @@ func (b *Bank) Touch(l *mem.Line, now int64) {
 func (b *Bank) Insert(addr mem.LineAddr, state mem.State, now int64) (frame *mem.Line, victim mem.Line, evicted bool) {
 	b.AdvanceTo(now)
 	frame, victim, evicted = b.arr.Insert(addr, state, now)
+	idx := b.arr.IndexOf(frame)
+	if b.groupValid != nil {
+		if evicted {
+			if victim.Dirty() {
+				b.noteDirty(idx, -1)
+			}
+		} else {
+			b.noteValid(idx, 1)
+		}
+		if frame.Dirty() {
+			b.noteDirty(idx, 1)
+		}
+	}
 	b.resetCount(frame)
 	b.counters().Fills++
 	if evicted {
 		b.counters().Evictions++
 	}
 	if b.policy.Time == config.RefrintTime {
-		b.scheduleSentry(b.arr.IndexOf(frame), frame)
+		b.scheduleSentry(idx, frame)
 	}
 	return frame, victim, evicted
+}
+
+// SetState changes the MESI state of a line frame in place, keeping the
+// bank's occupancy accounting coherent.  The simulator uses it for silent
+// upgrades (E->M), downgrades (M->S) and write hits that previously assigned
+// l.State directly.  It must not be used to invalidate a line (use
+// Invalidate) — but it does tolerate the opposite: an upgrade may find its
+// frame freshly invalidated by a refresh sweep that ran during the
+// directory transaction, and the assignment then revives the frame exactly
+// as the direct store used to.
+func (b *Bank) SetState(l *mem.Line, state mem.State) {
+	if b.groupValid != nil && l.State != state {
+		idx := b.arr.IndexOf(l)
+		if !l.State.Valid() && state.Valid() {
+			b.noteValid(idx, 1)
+		}
+		if l.State.Dirty() != state.Dirty() {
+			if state.Dirty() {
+				b.noteDirty(idx, 1)
+			} else {
+				b.noteDirty(idx, -1)
+			}
+		}
+	}
+	l.State = state
 }
 
 // Invalidate drops addr from the bank (coherence or inclusion), returning the
 // old copy.
 //
-// Unlike Probe and Insert it does not advance the bank's refresh clock: the
-// timestamp of a coherence operation belongs to the requesting core, whose
-// clock may be far ahead of this bank's owner, and letting it drive this
-// bank's refresh processing would charge future refresh work against the
-// owner's next (earlier) access.
-func (b *Bank) Invalidate(addr mem.LineAddr, now int64) (mem.Line, bool) {
-	old, ok := b.arr.Invalidate(addr)
-	if ok {
-		b.counters().Invalidations++
+// It deliberately takes no timestamp and does not advance the bank's refresh
+// clock: the timing of a coherence operation belongs to the requesting core,
+// whose clock may be far ahead of this bank's owner, and letting it drive
+// this bank's refresh processing would charge future refresh work against
+// the owner's next (earlier) access.
+func (b *Bank) Invalidate(addr mem.LineAddr) (mem.Line, bool) {
+	l, ok := b.arr.Probe(addr)
+	if !ok {
+		return mem.Line{}, false
 	}
-	return old, ok
+	old := *l
+	if b.groupValid != nil {
+		idx := b.arr.IndexOf(l)
+		b.noteValid(idx, -1)
+		if old.Dirty() {
+			b.noteDirty(idx, -1)
+		}
+	}
+	l.Reset()
+	b.counters().Invalidations++
+	return old, true
 }
 
 // Peek looks up addr without advancing the bank's refresh clock and without
@@ -248,42 +360,45 @@ func (b *Bank) Peek(addr mem.LineAddr) (*mem.Line, bool) {
 
 // AdvanceTo processes all refresh work with deadlines at or before `now`.
 // It is idempotent and monotone: calling it with an earlier time is a no-op.
+// The common case — the clock moves but nothing is due yet — is O(1).
 func (b *Bank) AdvanceTo(now int64) {
-	if !b.Refreshable() || now <= b.clock {
-		if now > b.clock {
-			b.clock = now
-		}
+	if now <= b.clock {
 		return
 	}
-	switch b.policy.Time {
-	case config.RefrintTime:
-		b.advanceRefrint(now)
-	case config.PeriodicTime:
-		b.advancePeriodic(now)
+	if b.refreshable {
+		switch b.policy.Time {
+		case config.RefrintTime:
+			if b.wheel.MaybeDue(now) {
+				b.advanceRefrint(now)
+			}
+		case config.PeriodicTime:
+			if now >= b.nextFire {
+				b.advancePeriodic(now)
+			}
+		}
 	}
 	b.clock = now
 }
 
 // advanceRefrint drains sentry interrupts due by `now`, in deadline order,
-// applying the data policy to each interrupting line (Figure 4.1).  Stale
-// entries (the line was accessed after the entry was scheduled, pushing its
-// real deadline later) are re-registered at their true deadline; entries for
-// lines that have since been invalidated or replaced are dropped.
+// applying the data policy to each interrupting line (Figure 4.1).  The
+// FrameWheel holds exactly one live deadline per frame (rescheduling moves
+// it), so every popped entry reflects the frame's current deadline; entries
+// whose frame has since been invalidated raise no interrupt — an invalid
+// frame has no charge to preserve — and its sentry stays quiet until the
+// frame is refilled.
 func (b *Bank) advanceRefrint(now int64) {
 	for {
-		due := b.wheel.PopDue(now, -1)
-		if len(due) == 0 {
+		// Drain into the bank-owned reusable buffer: zero allocations in
+		// steady state.  Processing an interrupt can schedule new deadlines
+		// (they land in the wheel, not the buffer) and can call hooks, which
+		// never re-enter this bank's AdvanceTo.
+		b.dueBuf = b.wheel.PopDueInto(now, -1, b.dueBuf[:0])
+		if len(b.dueBuf) == 0 {
 			return
 		}
-		for _, entry := range due {
+		for _, entry := range b.dueBuf {
 			idx := int(entry.ID)
-			if b.sentryDeadline[idx] != entry.Cycle {
-				// Stale: the frame was touched, refilled or replaced after
-				// this entry was scheduled; the live entry for its current
-				// deadline is elsewhere in the wheel.
-				continue
-			}
-			b.sentryDeadline[idx] = -1
 			l := b.arr.LineAt(idx)
 			if !l.Valid() {
 				// Invalid frames have no charge to preserve; their sentry
@@ -298,35 +413,70 @@ func (b *Bank) advanceRefrint(now int64) {
 	}
 }
 
-// advancePeriodic performs the staggered group sweeps due by `now`.
+// advancePeriodic performs the staggered group sweeps due by `now`.  The
+// firing sequence (group periodicFired mod Groups at cycle nextFire, which
+// steps by sweepInterval) reproduces sched.GroupAt exactly.
 func (b *Bank) advancePeriodic(now int64) {
-	for {
-		next := b.periodicFired
-		group, cycle := b.sched.GroupAt(next)
-		if cycle > now {
-			return
-		}
+	groups := int64(b.sched.Groups)
+	for b.nextFire <= now {
+		cycle := b.nextFire
+		group := int(b.periodicFired % groups)
 		b.periodicFired++
+		b.nextFire += b.sweepInterval
 		b.st.PeriodicGroupScans++
-		start, end := b.sched.GroupRange(group)
 		// The sweep blocks the bank port for one cycle per line in the
-		// group, starting at the firing time (Section 3.2 / 6.5).
+		// group, starting at the firing time (Section 3.2 / 6.5).  The
+		// blocking models the hardware and is charged regardless of how
+		// much scanning the occupancy counters let the simulator skip.
 		if b.portBusyUntil < cycle {
 			b.portBusyUntil = cycle
 		}
-		b.portBusyUntil += b.sched.BlockCycles()
-		for idx := start; idx < end; idx++ {
-			l := b.arr.LineAt(idx)
-			if !l.Valid() {
-				if b.policy.RefreshesInvalid() {
-					// The All reference policy refreshes even invalid frames.
-					b.counters().Refreshes++
-					b.st.PolicyRefreshes++
-				}
-				continue
-			}
-			b.applyDataPolicy(idx, l, cycle)
+		b.portBusyUntil += b.blockCycles
+		b.sweepGroup(group, cycle)
+	}
+}
+
+// sweepGroup applies the data policy to every frame of one sweep group,
+// using the group occupancy counters to do work proportional to occupancy:
+// an empty group is handled arithmetically, and a partially filled group
+// stops scanning once the last valid line has been visited (the tail is
+// all-invalid by construction).
+func (b *Bank) sweepGroup(group int, cycle int64) {
+	start, end := b.sched.GroupRange(group)
+	valid := b.groupValid[group]
+	// All and Valid sweeps refresh every valid line unconditionally, which
+	// has two consequences the simulator can exploit: lines on such banks
+	// can never decay (every line is recharged once per retention period by
+	// construction, and AdvanceTo applies due sweeps before any probe), and
+	// therefore the per-line LastRefresh/Sentry stores are unobservable.
+	// Only the counters matter, and those follow from the occupancy count —
+	// the whole sweep is O(1) regardless of group size.  Probe skips the
+	// decay check on these banks for the same reason (see mayDecay).
+	if b.policy.Data == config.AllData || b.policy.Data == config.ValidData {
+		refreshed := int64(valid)
+		if b.policy.RefreshesInvalid() {
+			refreshed = int64(end - start) // the All policy counts every frame
 		}
+		b.ctr.Refreshes += refreshed
+		b.st.PolicyRefreshes += refreshed
+		return
+	}
+	// Dirty and WB sweeps make per-line decisions; invalid frames need no
+	// work (only the All policy, handled above, refreshes them).  `valid`
+	// is the occupancy at sweep start; the policy may invalidate the line
+	// under scan, but never other unvisited lines of this bank, so counting
+	// visited-valid lines against the snapshot is exact.
+	if valid == 0 {
+		return
+	}
+	seen := int32(0)
+	for idx := start; idx < end && seen < valid; idx++ {
+		l := b.arr.LineAt(idx)
+		if !l.Valid() {
+			continue
+		}
+		seen++
+		b.applyDataPolicy(idx, l, cycle)
 	}
 }
 
@@ -346,7 +496,7 @@ func (b *Bank) applyDataPolicy(idx int, l *mem.Line, at int64) {
 		if l.Dirty() {
 			b.refreshLine(idx, l, at)
 		} else {
-			b.invalidateLine(l, at)
+			b.invalidateLine(idx, l, at)
 		}
 
 	case config.WBData:
@@ -361,7 +511,7 @@ func (b *Bank) applyDataPolicy(idx int, l *mem.Line, at int64) {
 			b.writebackLine(idx, l, at)
 		default:
 			// Count exhausted on a valid clean line: let it go.
-			b.invalidateLine(l, at)
+			b.invalidateLine(idx, l, at)
 		}
 	}
 }
@@ -384,6 +534,7 @@ func (b *Bank) writebackLine(idx int, l *mem.Line, at int64) {
 	if b.hooks.Writeback != nil {
 		b.hooks.Writeback(l.Tag, at)
 	}
+	b.noteDirty(idx, -1)
 	l.State = mem.Exclusive // valid clean
 	l.Count = b.policy.M
 	// The writeback read the line and rewrote it: the cells are recharged.
@@ -395,13 +546,21 @@ func (b *Bank) writebackLine(idx int, l *mem.Line, at int64) {
 }
 
 // invalidateLine implements the policy invalidation of a clean line.
-func (b *Bank) invalidateLine(l *mem.Line, at int64) {
+func (b *Bank) invalidateLine(idx int, l *mem.Line, at int64) {
 	b.counters().Invalidations++
 	b.st.PolicyInvalidates++
 	if b.hooks.Invalidate != nil {
 		b.hooks.Invalidate(l.Tag, l.Dirty(), at)
 	}
-	l.Reset()
+	// As in the decay path, the hook may already have invalidated the frame
+	// through a re-entrant inclusion invalidation; account the line once.
+	if l.Valid() {
+		b.noteValid(idx, -1)
+		if l.Dirty() {
+			b.noteDirty(idx, -1)
+		}
+		l.Reset()
+	}
 }
 
 // Drain processes all refresh work up to endCycle (used at the end of a run
@@ -414,7 +573,57 @@ func (b *Bank) Drain(endCycle int64) {
 // can write them back (end-of-run flush, Section 6 "at the end of the
 // simulation all dirty data will be written back to main memory").
 func (b *Bank) Flush() []mem.Line {
+	for i := range b.groupValid {
+		b.groupValid[i] = 0
+	}
+	for i := range b.groupDirty {
+		b.groupDirty[i] = 0
+	}
 	return b.arr.Flush()
+}
+
+// FlushCount is Flush for callers that only need the number of dirty lines
+// (the end-of-run writeback charge): no per-line copies are made.
+func (b *Bank) FlushCount() int64 {
+	var n int64
+	if b.groupDirty != nil {
+		n = int64(b.DirtyLines())
+		for i := range b.groupValid {
+			b.groupValid[i] = 0
+		}
+		for i := range b.groupDirty {
+			b.groupDirty[i] = 0
+		}
+		b.arr.FlushCount() // zeroes the array; counted above
+		return n
+	}
+	return b.arr.FlushCount()
+}
+
+// ValidLines returns the number of valid lines a Periodic bank is tracking
+// (falling back to a scan for other banks).  Tests use it to cross-check the
+// occupancy counters against ground truth.
+func (b *Bank) ValidLines() int {
+	if b.groupValid == nil {
+		return b.arr.ValidCount()
+	}
+	n := 0
+	for _, v := range b.groupValid {
+		n += int(v)
+	}
+	return n
+}
+
+// DirtyLines is ValidLines for dirty (Modified) lines.
+func (b *Bank) DirtyLines() int {
+	if b.groupDirty == nil {
+		return b.arr.DirtyCount()
+	}
+	n := 0
+	for _, v := range b.groupDirty {
+		n += int(v)
+	}
+	return n
 }
 
 // PendingRefreshWork reports how many sentry deadlines are registered

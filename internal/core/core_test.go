@@ -299,7 +299,7 @@ func TestRefrintPortOccupancyIsFine(t *testing.T) {
 func TestInvalidLinesRaiseNoInterrupts(t *testing.T) {
 	b, st, _ := newTestBank(t, testCell(), config.RefrintValid)
 	b.Insert(0x1, mem.Exclusive, 0)
-	b.Invalidate(0x1, 100)
+	b.Invalidate(0x1)
 	b.AdvanceTo(50_000)
 	if st.PolicyRefreshes != 0 {
 		t.Errorf("refreshes = %d, want 0 for an invalidated line", st.PolicyRefreshes)

@@ -1,20 +1,47 @@
 package event
 
-// Wheel is a coarse-grained timing wheel keyed by simulated cycle.  It is
-// used to hold one pending decay deadline per cache line; deadlines are
-// processed lazily, in timestamp order, whenever the owning component's
-// local clock advances (see DESIGN.md section 4.2).
+import "math"
+
+// Wheel is a coarse-grained timing wheel keyed by simulated cycle: pending
+// deadlines are processed lazily, in timestamp order, whenever the owning
+// component's local clock advances (see DESIGN.md section 4.2).
 //
 // Entries are bucketed by cycle / Granularity.  Within a bucket, entries are
 // drained in insertion order; because the consumer re-checks each entry's
 // true deadline against the line's current state, coarse bucketing never
 // causes a line to be processed early or late by more than the granularity,
 // and the default granularity of 1 makes ordering exact.
+//
+// Internally the wheel is a fixed-size ring of reusable slices: bucket b
+// lives in slot b mod ring-size while b falls inside the active window
+// [next, next+ring-size).  Entries scheduled beyond the window go to an
+// overflow level and are promoted into the ring as the window advances.
+// Draining through PopDueInto touches only the due buckets and reuses the
+// slot slices, so a warmed-up wheel allocates nothing in steady state.
+// Callers that need the window to cover their scheduling horizon up front
+// (avoiding the overflow level entirely) should use NewWheelHorizon.
+//
+// If the overflow level holds entries for a bucket that also has entries in
+// the ring, the overflow entries are drained after the ring entries of that
+// bucket regardless of the original Schedule order.  A wheel whose ring
+// covers the caller's scheduling horizon never overflows, so insertion
+// order within a bucket is exact.
+//
+// Wheel is the general-purpose variant for sparse or unbounded id spaces;
+// the refresh machinery (core.Bank) uses the FrameWheel specialisation,
+// which additionally exploits "one live deadline per id".
 type Wheel struct {
 	granularity int64
-	buckets     map[int64][]WheelEntry
-	next        int64 // earliest bucket index that may contain entries
-	count       int
+	ring        [][]WheelEntry // slot b&mask holds bucket b while in-window
+	mask        int64          // len(ring)-1; len(ring) is a power of two
+	next        int64          // earliest bucket that may contain entries
+	count       int            // total pending entries (ring + overflow)
+
+	// overflow holds entries whose bucket did not fit in the window
+	// [next, next+len(ring)) when they were scheduled, in Schedule order.
+	overflow        []WheelEntry
+	overflowMin     int64 // min deadline cycle in overflow (valid when non-empty)
+	overflowPromote int64 // earliest overflow bucket (window advance trigger)
 }
 
 // WheelEntry is one pending deadline.
@@ -23,28 +50,122 @@ type WheelEntry struct {
 	ID    int64 // consumer-defined identifier (e.g. line index)
 }
 
+// defaultRingBuckets is the ring size used when no horizon is given.
+const defaultRingBuckets = 64
+
 // NewWheel returns a timing wheel with the given bucket granularity in
 // cycles.  A granularity of 1 gives exact ordering; larger granularities
-// trade ordering precision inside a bucket for less map churn.
+// trade ordering precision inside a bucket for cheaper scheduling.
 func NewWheel(granularity int64) *Wheel {
+	return NewWheelHorizon(granularity, 0)
+}
+
+// NewWheelHorizon returns a timing wheel whose ring covers at least
+// `horizon` cycles beyond the earliest pending deadline.  A caller that
+// never schedules further than `horizon` past its drain point keeps every
+// entry in the ring, so scheduling and draining are allocation-free once the
+// slot slices have warmed up.  A horizon <= 0 selects a small default ring.
+func NewWheelHorizon(granularity, horizon int64) *Wheel {
 	if granularity <= 0 {
 		granularity = 1
 	}
+	buckets := int64(defaultRingBuckets)
+	if horizon > 0 {
+		// +2: one bucket of slack at each end of the window (partial buckets).
+		need := horizon/granularity + 2
+		for buckets < need {
+			buckets <<= 1
+		}
+	}
 	return &Wheel{
 		granularity: granularity,
-		buckets:     make(map[int64][]WheelEntry),
-		next:        0,
+		ring:        make([][]WheelEntry, buckets),
+		mask:        buckets - 1,
 	}
 }
 
+// bucketOf maps a deadline cycle to its bucket index.
+func (w *Wheel) bucketOf(cycle int64) int64 { return cycle / w.granularity }
+
 // Schedule adds a deadline for the given identifier.
 func (w *Wheel) Schedule(cycle int64, id int64) {
-	b := cycle / w.granularity
-	if len(w.buckets) == 0 || b < w.next {
+	b := w.bucketOf(cycle)
+	switch {
+	case w.count == 0:
 		w.next = b
+	case b < w.next:
+		// Scheduling before the current window start: slide the window back,
+		// spilling any ring entry that no longer fits into overflow.
+		w.slideWindowBack(b)
 	}
-	w.buckets[b] = append(w.buckets[b], WheelEntry{Cycle: cycle, ID: id})
+	if b >= w.next+int64(len(w.ring)) {
+		w.pushOverflow(WheelEntry{Cycle: cycle, ID: id}, b)
+	} else {
+		slot := b & w.mask
+		w.ring[slot] = append(w.ring[slot], WheelEntry{Cycle: cycle, ID: id})
+	}
 	w.count++
+}
+
+// pushOverflow appends an entry to the overflow level, maintaining the
+// overflow minima.
+func (w *Wheel) pushOverflow(e WheelEntry, bucket int64) {
+	if len(w.overflow) == 0 || e.Cycle < w.overflowMin {
+		w.overflowMin = e.Cycle
+	}
+	if len(w.overflow) == 0 || bucket < w.overflowPromote {
+		w.overflowPromote = bucket
+	}
+	w.overflow = append(w.overflow, e)
+}
+
+// slideWindowBack moves the window start down to bucket b, spilling ring
+// entries whose bucket falls outside the new window into overflow.  This is
+// the rare path: it only runs when a deadline earlier than every pending
+// deadline is scheduled while the wheel is non-empty.
+func (w *Wheel) slideWindowBack(b int64) {
+	limit := b + int64(len(w.ring))
+	for slot := range w.ring {
+		entries := w.ring[slot]
+		kept := entries[:0]
+		for _, e := range entries {
+			if eb := w.bucketOf(e.Cycle); eb >= limit {
+				w.pushOverflow(e, eb)
+			} else {
+				kept = append(kept, e)
+			}
+		}
+		w.ring[slot] = kept
+	}
+	w.next = b
+}
+
+// promoteOverflow moves overflow entries that fit the window starting at
+// `start` into the ring, keeping the rest in overflow.  Entries move in
+// overflow (i.e. Schedule) order, so same-bucket ordering among overflow
+// entries is preserved.
+func (w *Wheel) promoteOverflow(start int64) {
+	w.next = start
+	limit := start + int64(len(w.ring))
+	kept := w.overflow[:0]
+	w.overflowMin = math.MaxInt64
+	w.overflowPromote = math.MaxInt64
+	for _, e := range w.overflow {
+		b := w.bucketOf(e.Cycle)
+		if b < limit {
+			slot := b & w.mask
+			w.ring[slot] = append(w.ring[slot], e)
+			continue
+		}
+		if e.Cycle < w.overflowMin {
+			w.overflowMin = e.Cycle
+		}
+		if b < w.overflowPromote {
+			w.overflowPromote = b
+		}
+		kept = append(kept, e)
+	}
+	w.overflow = kept
 }
 
 // Len returns the number of pending entries.
@@ -52,73 +173,107 @@ func (w *Wheel) Len() int { return w.count }
 
 // PopDue removes and returns up to max entries whose deadline is <= now, in
 // non-decreasing bucket order.  If max is negative, all due entries are
-// returned.  Entries within one bucket are returned in insertion order.
+// returned.  Entries within one bucket are returned in insertion order (see
+// the type comment for the overflow caveat).  The returned slice is freshly
+// allocated; hot paths should use PopDueInto with a reusable buffer.
 func (w *Wheel) PopDue(now int64, max int) []WheelEntry {
-	if w.count == 0 {
-		return nil
+	return w.PopDueInto(now, max, nil)
+}
+
+// PopDueInto is PopDue appending into dst (which may be nil).  When dst has
+// enough capacity the call performs no allocation: due buckets are copied
+// out and the slot slices are truncated in place for reuse.
+func (w *Wheel) PopDueInto(now int64, max int, dst []WheelEntry) []WheelEntry {
+	if w.count == 0 || max == 0 {
+		return dst
 	}
-	var out []WheelEntry
-	nowBucket := now / w.granularity
-	for b := w.next; b <= nowBucket; b++ {
-		entries, ok := w.buckets[b]
-		if !ok {
-			continue
-		}
-		kept := entries[:0]
-		for i, e := range entries {
-			if e.Cycle <= now && (max < 0 || len(out) < max) {
-				out = append(out, e)
-			} else {
-				kept = append(kept, entries[i])
+	popped := 0
+	nowBucket := w.bucketOf(now)
+	for w.count > 0 {
+		// Promote phase: pull overflow entries that fit the window into the
+		// ring.  With an empty ring the window restarts at the earliest
+		// overflow bucket; otherwise the window start is pinned by pending
+		// ring entries and only fitting overflow entries move.
+		if len(w.overflow) > 0 {
+			if w.count == len(w.overflow) {
+				if w.overflowPromote > nowBucket {
+					break // nothing due anywhere
+				}
+				w.promoteOverflow(w.overflowPromote)
+			} else if w.overflowPromote < w.next+int64(len(w.ring)) {
+				w.promoteOverflow(w.next)
 			}
 		}
-		if len(kept) == 0 {
-			delete(w.buckets, b)
-		} else {
-			w.buckets[b] = kept
+		if w.next > nowBucket {
+			break
 		}
-		w.count -= len(entries) - len(kept)
-		if max >= 0 && len(out) >= max {
+		windowEnd := w.next + int64(len(w.ring))
+		stop := nowBucket
+		if stop >= windowEnd {
+			stop = windowEnd - 1
+		}
+		blocked := false // a not-yet-due entry pins w.next at its bucket
+		for b := w.next; b <= stop; b++ {
+			slot := b & w.mask
+			entries := w.ring[slot]
+			if len(entries) == 0 {
+				if !blocked {
+					w.next = b + 1
+				}
+				continue
+			}
+			kept := entries[:0]
+			for i, e := range entries {
+				if e.Cycle <= now && (max < 0 || popped < max) {
+					dst = append(dst, e)
+					popped++
+				} else {
+					kept = append(kept, entries[i])
+				}
+			}
+			w.ring[slot] = kept
+			w.count -= len(entries) - len(kept)
+			if len(kept) > 0 {
+				blocked = true
+			} else if !blocked {
+				w.next = b + 1
+			}
+			if max >= 0 && popped >= max {
+				return dst
+			}
+		}
+		if blocked {
 			break
 		}
 	}
-	w.advanceNext()
-	return out
-}
-
-// advanceNext moves next past empty leading buckets so scans stay O(due).
-func (w *Wheel) advanceNext() {
-	if w.count == 0 {
-		w.buckets = make(map[int64][]WheelEntry)
-		w.next = 0
-		return
-	}
-	for {
-		if _, ok := w.buckets[w.next]; ok {
-			return
-		}
-		w.next++
-	}
+	return dst
 }
 
 // NextDeadline returns the earliest pending deadline and true, or (0, false)
-// if the wheel is empty.
+// if the wheel is empty.  The scan is bounded by the ring size: inconsistent
+// internal state yields (0, false) rather than an unbounded walk.
 func (w *Wheel) NextDeadline() (int64, bool) {
 	if w.count == 0 {
 		return 0, false
 	}
-	b := w.next
-	for {
-		entries, ok := w.buckets[b]
-		if ok && len(entries) > 0 {
-			min := entries[0].Cycle
-			for _, e := range entries[1:] {
-				if e.Cycle < min {
-					min = e.Cycle
-				}
-			}
-			return min, true
+	for b := w.next; b < w.next+int64(len(w.ring)); b++ {
+		entries := w.ring[b&w.mask]
+		if len(entries) == 0 {
+			continue
 		}
-		b++
+		min := entries[0].Cycle
+		for _, e := range entries[1:] {
+			if e.Cycle < min {
+				min = e.Cycle
+			}
+		}
+		if len(w.overflow) > 0 && w.overflowMin < min {
+			min = w.overflowMin
+		}
+		return min, true
 	}
+	if len(w.overflow) > 0 {
+		return w.overflowMin, true
+	}
+	return 0, false
 }

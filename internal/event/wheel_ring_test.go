@@ -1,0 +1,209 @@
+package event
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestWheelNextDeadlineCoarseGranularity pins NextDeadline behaviour when
+// buckets hold several cycles: the earliest cycle must win even when a
+// later-scheduled entry lands in the same bucket.
+func TestWheelNextDeadlineCoarseGranularity(t *testing.T) {
+	w := NewWheel(64)
+	w.Schedule(130, 1) // bucket 2
+	w.Schedule(100, 2) // bucket 1
+	w.Schedule(120, 3) // bucket 1, later insertion, earlier than 130
+	if d, ok := w.NextDeadline(); !ok || d != 100 {
+		t.Fatalf("NextDeadline = %d,%v, want 100,true", d, ok)
+	}
+	// Drain only the first bucket; the minimum moves to the next bucket.
+	due := w.PopDue(127, -1)
+	if len(due) != 2 {
+		t.Fatalf("PopDue(127) returned %d entries, want 2", len(due))
+	}
+	if d, ok := w.NextDeadline(); !ok || d != 130 {
+		t.Errorf("NextDeadline after drain = %d,%v, want 130,true", d, ok)
+	}
+}
+
+// TestWheelNextDeadlineAfterMaxLimitedPop covers the interaction the old
+// implementation left untested: a max-limited PopDue that stops mid-bucket
+// must leave NextDeadline pointing at the remaining entries.
+func TestWheelNextDeadlineAfterMaxLimitedPop(t *testing.T) {
+	w := NewWheel(4)
+	for i := int64(0); i < 8; i++ {
+		w.Schedule(10+i, i) // buckets 2 and 3, four entries each
+	}
+	due := w.PopDue(100, 3)
+	if len(due) != 3 {
+		t.Fatalf("PopDue(max=3) returned %d entries", len(due))
+	}
+	if d, ok := w.NextDeadline(); !ok || d != 13 {
+		t.Errorf("NextDeadline = %d,%v, want 13,true", d, ok)
+	}
+	rest := w.PopDue(100, -1)
+	if len(rest) != 5 {
+		t.Errorf("rest = %d entries, want 5", len(rest))
+	}
+	if _, ok := w.NextDeadline(); ok || w.Len() != 0 {
+		t.Errorf("wheel should be empty, len = %d", w.Len())
+	}
+}
+
+// TestWheelMaxLimitCoarseBuckets drains a coarse-bucketed wheel a few
+// entries at a time and checks nothing is lost, duplicated or early.
+func TestWheelMaxLimitCoarseBuckets(t *testing.T) {
+	w := NewWheel(16)
+	const n = 40
+	for i := int64(0); i < n; i++ {
+		w.Schedule(i*7, i)
+	}
+	seen := map[int64]bool{}
+	for w.Len() > 0 {
+		due := w.PopDue(n*7, 3)
+		if len(due) == 0 {
+			t.Fatal("PopDue made no progress")
+		}
+		for _, e := range due {
+			if seen[e.ID] {
+				t.Fatalf("duplicate id %d", e.ID)
+			}
+			seen[e.ID] = true
+		}
+	}
+	if len(seen) != n {
+		t.Errorf("drained %d entries, want %d", len(seen), n)
+	}
+}
+
+// TestWheelOverflowBeyondRing schedules far past the ring window so entries
+// land in the overflow level, then checks they drain correctly.
+func TestWheelOverflowBeyondRing(t *testing.T) {
+	w := NewWheel(1) // default ring: 64 buckets
+	w.Schedule(5, 1)
+	w.Schedule(1_000_000, 2) // far beyond the window: overflow
+	w.Schedule(500_000, 3)   // also overflow
+	if w.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", w.Len())
+	}
+	if d, ok := w.NextDeadline(); !ok || d != 5 {
+		t.Fatalf("NextDeadline = %d,%v, want 5,true", d, ok)
+	}
+	if due := w.PopDue(5, -1); len(due) != 1 || due[0].ID != 1 {
+		t.Fatalf("PopDue(5) = %+v", due)
+	}
+	if d, ok := w.NextDeadline(); !ok || d != 500_000 {
+		t.Fatalf("NextDeadline = %d,%v, want 500000,true", d, ok)
+	}
+	if due := w.PopDue(600_000, -1); len(due) != 1 || due[0].ID != 3 {
+		t.Fatalf("PopDue(600000) = %+v", due)
+	}
+	if due := w.PopDue(1_000_000, -1); len(due) != 1 || due[0].ID != 2 {
+		t.Fatalf("PopDue(1000000) = %+v", due)
+	}
+	if w.Len() != 0 {
+		t.Errorf("Len = %d, want 0", w.Len())
+	}
+}
+
+// TestWheelScheduleEarlierThanPending slides the window back when a deadline
+// earlier than everything pending is scheduled.
+func TestWheelScheduleEarlierThanPending(t *testing.T) {
+	w := NewWheel(1)
+	w.Schedule(1000, 1)
+	w.Schedule(1063, 2) // same window as 1000 (64 buckets)
+	w.Schedule(990, 3)  // earlier: window slides back, 1063 no longer fits
+	var got []int64
+	for _, e := range w.PopDue(2000, -1) {
+		got = append(got, e.ID)
+	}
+	if len(got) != 3 || got[0] != 3 || got[1] != 1 || got[2] != 2 {
+		t.Errorf("drain order = %v, want [3 1 2]", got)
+	}
+}
+
+// TestWheelPopDueIntoReuse checks that PopDueInto appends into the supplied
+// buffer and that a warmed wheel reuses its slot storage.
+func TestWheelPopDueIntoReuse(t *testing.T) {
+	w := NewWheelHorizon(4, 1024)
+	buf := make([]WheelEntry, 0, 16)
+	for round := int64(0); round < 50; round++ {
+		base := round * 20
+		for i := int64(0); i < 10; i++ {
+			w.Schedule(base+i, i)
+		}
+		buf = w.PopDueInto(base+19, -1, buf[:0])
+		if len(buf) != 10 {
+			t.Fatalf("round %d: drained %d entries, want 10", round, len(buf))
+		}
+		for i, e := range buf {
+			if e.ID != int64(i) {
+				t.Fatalf("round %d: order %+v", round, buf)
+			}
+		}
+	}
+	if w.Len() != 0 {
+		t.Errorf("Len = %d, want 0", w.Len())
+	}
+}
+
+// TestWheelHorizonSizing checks NewWheelHorizon covers the requested span.
+func TestWheelHorizonSizing(t *testing.T) {
+	w := NewWheelHorizon(64, 33_616)
+	if got := len(w.ring); got < int(33_616/64)+2 {
+		t.Errorf("ring %d buckets cannot cover a 33616-cycle horizon", got)
+	}
+	// The horizon property: schedule at now+horizon while an entry pends at
+	// now; both stay in the ring (overflow unused).
+	w.Schedule(100, 1)
+	w.Schedule(100+33_616, 2)
+	if len(w.overflow) != 0 {
+		t.Errorf("horizon-sized wheel overflowed: %d entries", len(w.overflow))
+	}
+}
+
+// TestWheelRandomizedAgainstReference cross-checks the ring implementation
+// against a straightforward model over random schedule/pop interleavings,
+// including deadlines far beyond the ring (overflow) and max-limited pops.
+func TestWheelRandomizedAgainstReference(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w := NewWheel(1 + rng.Int63n(32))
+		pending := map[int64]int64{} // id -> deadline
+		nextID := int64(0)
+		now := int64(0)
+		for step := 0; step < 200; step++ {
+			if rng.Intn(2) == 0 {
+				d := now + rng.Int63n(5000)
+				w.Schedule(d, nextID)
+				pending[nextID] = d
+				nextID++
+				continue
+			}
+			now += rng.Int63n(800)
+			max := -1
+			if rng.Intn(3) == 0 {
+				max = rng.Intn(4)
+			}
+			for _, e := range w.PopDue(now, max) {
+				d, ok := pending[e.ID]
+				if !ok || d > now || d != e.Cycle {
+					return false // lost, duplicated or early
+				}
+				delete(pending, e.ID)
+			}
+		}
+		for _, e := range w.PopDue(1<<40, -1) {
+			d, ok := pending[e.ID]
+			if !ok || d != e.Cycle {
+				return false
+			}
+			delete(pending, e.ID)
+		}
+		return len(pending) == 0 && w.Len() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -18,6 +18,10 @@ import (
 // Torus is a W x H torus with dimension-order routing.
 type Torus struct {
 	cfg config.NoCConfig
+	// hops[src*nodes+dst] caches the minimal hop count of every pair; the
+	// simulator consults it on every message, so it must be a plain load.
+	hops  []int16
+	nodes int
 }
 
 // New builds the torus from its configuration.
@@ -25,7 +29,14 @@ func New(cfg config.NoCConfig) *Torus {
 	if err := cfg.Validate(); err != nil {
 		panic(fmt.Sprintf("noc: invalid config: %v", err))
 	}
-	return &Torus{cfg: cfg}
+	t := &Torus{cfg: cfg, nodes: cfg.Nodes()}
+	t.hops = make([]int16, t.nodes*t.nodes)
+	for src := 0; src < t.nodes; src++ {
+		for dst := 0; dst < t.nodes; dst++ {
+			t.hops[src*t.nodes+dst] = int16(t.computeHops(src, dst))
+		}
+	}
+	return t
 }
 
 // Config returns the network configuration.
@@ -56,6 +67,11 @@ func torusDist(a, b, size int) int {
 // minimal dimension-order routing on the torus.  A message to the local tile
 // takes zero hops.
 func (t *Torus) Hops(src, dst int) int {
+	return int(t.hops[src*t.nodes+dst])
+}
+
+// computeHops derives the hop count of one pair (used to fill the table).
+func (t *Torus) computeHops(src, dst int) int {
 	if src == dst {
 		return 0
 	}

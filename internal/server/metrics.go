@@ -20,6 +20,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	cached, inflight := s.cache.stats()
 	sweepHits, sweepMisses := s.sweepCacheHits, s.sweepCacheMisses
 	sims := s.simsCompleted
+	windowed := s.simRate.Rate()
 	uptime := time.Since(s.startedAt).Seconds()
 	s.mu.Unlock()
 
@@ -61,6 +62,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		rate = float64(sims) / uptime
 	}
 	gauge("refrint_sims_per_second", "Average simulations per second since the server started.", fmt.Sprintf("%.6g", rate))
+	gauge("refrint_sims_per_second_1m", "Simulations per second over the last minute (sliding window).", fmt.Sprintf("%.6g", windowed))
 	gauge("refrint_uptime_seconds", "Seconds since the server started.", fmt.Sprintf("%.3f", uptime))
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")

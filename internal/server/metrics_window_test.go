@@ -1,0 +1,32 @@
+package server
+
+import (
+	"net/http"
+	"testing"
+)
+
+// TestMetricsWindowedSimsRate checks that /metrics exposes the sliding
+// one-minute sims/sec gauge next to the cumulative one, and that it reflects
+// completions that just happened (the whole sweep finished well inside the
+// window, so the windowed figure must be positive).
+func TestMetricsWindowedSimsRate(t *testing.T) {
+	h := newHarness(t, Config{})
+	view, status := h.submit(tinyRequest(7))
+	if status != http.StatusAccepted && status != http.StatusOK {
+		t.Fatalf("submit: status %d", status)
+	}
+	h.waitState(view.ID, StateDone)
+
+	text, code := h.getText("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d", code)
+	}
+	cumulative := metricValue(t, text, "refrint_sims_per_second")
+	windowed := metricValue(t, text, "refrint_sims_per_second_1m")
+	if cumulative <= 0 {
+		t.Errorf("cumulative sims/sec = %g, want > 0", cumulative)
+	}
+	if windowed <= 0 {
+		t.Errorf("windowed sims/sec = %g, want > 0 right after completions", windowed)
+	}
+}

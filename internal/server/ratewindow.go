@@ -1,0 +1,64 @@
+package server
+
+import "time"
+
+// rateWindow tracks event completions in per-second buckets over a sliding
+// window, so /metrics can expose a recent throughput figure next to the
+// cumulative average (which flattens bursts over the whole uptime).
+//
+// The zero-value is not usable; construct with newRateWindow.  The type has
+// no internal locking: the Server guards it with its own mutex.
+type rateWindow struct {
+	now     func() time.Time
+	buckets []int64 // per-second event counts
+	seconds []int64 // unix second each bucket currently holds counts for
+	started int64   // unix second of construction (bounds the early-life denominator)
+}
+
+// newRateWindow builds a window of the given span (rounded down to whole
+// seconds, minimum one).  The clock is injectable for tests.
+func newRateWindow(window time.Duration, now func() time.Time) *rateWindow {
+	n := int(window / time.Second)
+	if n < 1 {
+		n = 1
+	}
+	return &rateWindow{
+		now:     now,
+		buckets: make([]int64, n),
+		seconds: make([]int64, n),
+		started: now().Unix(),
+	}
+}
+
+// Add records n events at the current time.
+func (r *rateWindow) Add(n int64) {
+	sec := r.now().Unix()
+	i := int(sec % int64(len(r.buckets)))
+	if r.seconds[i] != sec {
+		r.buckets[i] = 0
+		r.seconds[i] = sec
+	}
+	r.buckets[i] += n
+}
+
+// Rate returns the events-per-second over the window ending now.  While the
+// window is younger than its span, the elapsed lifetime is used as the
+// denominator so early readings are not diluted by not-yet-lived seconds.
+func (r *rateWindow) Rate() float64 {
+	sec := r.now().Unix()
+	span := int64(len(r.buckets))
+	var sum int64
+	for i, s := range r.seconds {
+		if s > sec-span && s <= sec {
+			sum += r.buckets[i]
+		}
+	}
+	denom := span
+	if lived := sec - r.started + 1; lived < denom {
+		denom = lived
+	}
+	if denom < 1 {
+		denom = 1
+	}
+	return float64(sum) / float64(denom)
+}

@@ -1,0 +1,63 @@
+package server
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock steps a rateWindow through deterministic seconds.
+type fakeClock struct{ sec int64 }
+
+func (c *fakeClock) now() time.Time { return time.Unix(c.sec, 0) }
+
+func TestRateWindowEmpty(t *testing.T) {
+	c := &fakeClock{sec: 1000}
+	r := newRateWindow(60*time.Second, c.now)
+	if got := r.Rate(); got != 0 {
+		t.Errorf("empty window rate = %g, want 0", got)
+	}
+}
+
+func TestRateWindowEarlyLifeDenominator(t *testing.T) {
+	c := &fakeClock{sec: 1000}
+	r := newRateWindow(60*time.Second, c.now)
+	r.Add(10)
+	// One second lived, 10 events: 10/s, not 10/60.
+	if got := r.Rate(); got != 10 {
+		t.Errorf("early rate = %g, want 10", got)
+	}
+	c.sec += 4 // five seconds lived
+	if got := r.Rate(); got != 2 {
+		t.Errorf("rate after 5s = %g, want 2", got)
+	}
+}
+
+func TestRateWindowSlides(t *testing.T) {
+	c := &fakeClock{sec: 1000}
+	r := newRateWindow(60*time.Second, c.now)
+	for i := 0; i < 120; i++ {
+		r.Add(2)
+		c.sec++
+	}
+	c.sec-- // query at the second of the last Add
+	// Fully lived window: the last 60 seconds carry 2 events each.
+	if got := r.Rate(); got != 2 {
+		t.Errorf("steady rate = %g, want 2", got)
+	}
+	// A quiet minute later the window must have drained to zero.
+	c.sec += 61
+	if got := r.Rate(); got != 0 {
+		t.Errorf("rate after idle minute = %g, want 0", got)
+	}
+}
+
+func TestRateWindowBucketReuse(t *testing.T) {
+	c := &fakeClock{sec: 500}
+	r := newRateWindow(2*time.Second, c.now)
+	r.Add(5)
+	c.sec += 2 // same bucket index, different second: must reset, not add
+	r.Add(1)
+	if got := r.Rate(); got != 0.5 {
+		t.Errorf("rate = %g, want 0.5 (stale bucket leaked)", got)
+	}
+}

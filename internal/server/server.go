@@ -102,6 +102,9 @@ type Server struct {
 	sweepCacheHits   int64 // submissions answered done immediately (memory or store)
 	sweepCacheMisses int64 // submissions that enqueued or attached to a live execution
 	simsCompleted    int64 // simulations finished across all sweeps (cell hits included)
+	// simRate tracks recent completions for the windowed sims/sec gauge
+	// (guarded by mu, like the counters above).
+	simRate *rateWindow
 }
 
 // New builds a server and starts its worker pool.  Call Close to stop it.
@@ -113,6 +116,7 @@ func New(cfg Config) *Server {
 		jobs:      make(map[string]*Job),
 		cache:     newResultCache(cfg.CacheEntries),
 		startedAt: time.Now(),
+		simRate:   newRateWindow(time.Minute, time.Now),
 	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	s.pool = newPool(cfg.Shards, cfg.QueueDepth, s.runEntry)
@@ -178,6 +182,7 @@ func (s *Server) runEntry(e *entry) {
 		s.mu.Lock()
 		if p.Done > e.done {
 			s.simsCompleted += int64(p.Done - e.done)
+			s.simRate.Add(int64(p.Done - e.done))
 			e.done = p.Done
 		}
 		if p.Total > 0 {

@@ -2,7 +2,6 @@ package sim
 
 import (
 	"refrint/internal/coherence"
-	"refrint/internal/config"
 	"refrint/internal/core"
 	"refrint/internal/mem"
 	"refrint/internal/stats"
@@ -43,7 +42,11 @@ func (s *System) accessRead(tileID int, line mem.LineAddr, now int64, ifetch boo
 	l1, l1Level := tile.l1For(ifetch)
 
 	// L1 lookup.
-	t := l1.PortStart(now) + s.l1Cfg(ifetch).AccessTime
+	l1Time := s.dl1Time
+	if ifetch {
+		l1Time = s.il1Time
+	}
+	t := l1.PortStart(now) + l1Time
 	s.countRead(l1Level)
 	if frame, ok := l1.Probe(line, now); ok {
 		s.st.Level(l1Level).Hits++
@@ -53,7 +56,7 @@ func (s *System) accessRead(tileID int, line mem.LineAddr, now int64, ifetch boo
 	s.st.Level(l1Level).Misses++
 
 	// L2 lookup.
-	t = tile.L2.PortStart(t) + s.cfg.L2.AccessTime
+	t = tile.L2.PortStart(t) + s.l2Time
 	s.countRead(stats.L2)
 	if frame, ok := tile.L2.Probe(line, now); ok {
 		s.st.Level(stats.L2).Hits++
@@ -79,7 +82,7 @@ func (s *System) accessWrite(tileID int, line mem.LineAddr, now int64) int64 {
 	tile := s.tiles[tileID]
 
 	// DL1 lookup.
-	t := tile.DL1.PortStart(now) + s.cfg.DL1.AccessTime
+	t := tile.DL1.PortStart(now) + s.dl1Time
 	s.countWrite(stats.DL1)
 	dl1Frame, dl1Hit := tile.DL1.Probe(line, now)
 	if dl1Hit {
@@ -90,7 +93,7 @@ func (s *System) accessWrite(tileID int, line mem.LineAddr, now int64) int64 {
 	}
 
 	// The write is propagated to the L2 (write-through).
-	t2 := tile.L2.PortStart(t) + s.cfg.L2.AccessTime
+	t2 := tile.L2.PortStart(t) + s.l2Time
 	s.countWrite(stats.L2)
 	l2Frame, l2Hit := tile.L2.Probe(line, now)
 	switch {
@@ -102,14 +105,14 @@ func (s *System) accessWrite(tileID int, line mem.LineAddr, now int64) int64 {
 	case l2Hit && l2Frame.State == mem.Exclusive:
 		// MESI silent upgrade E -> M.
 		s.st.Level(stats.L2).Hits++
-		l2Frame.State = mem.Modified
+		tile.L2.SetState(l2Frame, mem.Modified)
 		tile.L2.Touch(l2Frame, t2)
 		t = t2
 	case l2Hit && l2Frame.State == mem.Shared:
 		// Upgrade: the directory must invalidate the other sharers.
 		s.st.Level(stats.L2).Hits++
 		t = s.upgradeAtL3(tileID, line, t2)
-		l2Frame.State = mem.Modified
+		tile.L2.SetState(l2Frame, mem.Modified)
 		tile.L2.Touch(l2Frame, t)
 	default:
 		// L2 miss: fetch the line with write intent from the L3.
@@ -128,14 +131,6 @@ func (s *System) accessWrite(tileID int, line mem.LineAddr, now int64) int64 {
 // countRead / countWrite increment the lookup counters of a level.
 func (s *System) countRead(level stats.Level)  { s.st.Level(level).Reads++ }
 func (s *System) countWrite(level stats.Level) { s.st.Level(level).Writes++ }
-
-// l1Cfg returns the IL1 or DL1 configuration.
-func (s *System) l1Cfg(ifetch bool) config.CacheConfig {
-	if ifetch {
-		return s.cfg.IL1
-	}
-	return s.cfg.DL1
-}
 
 // fillL1 inserts a line into an L1 after a fill from below.  L1 victims are
 // always clean (write-through DL1, read-only IL1), so they are silently
@@ -157,8 +152,8 @@ func (s *System) fillL2(tileID int, line mem.LineAddr, state mem.State, now int6
 	}
 	vaddr := victim.Tag
 	// Inclusion: the victim leaves the whole private hierarchy.
-	tile.IL1.Invalidate(vaddr, now)
-	tile.DL1.Invalidate(vaddr, now)
+	tile.IL1.Invalidate(vaddr)
+	tile.DL1.Invalidate(vaddr)
 	home := s.tiles[s.bankOf(vaddr)]
 	if victim.Dirty() {
 		s.writebackToL3(tileID, vaddr, now)
@@ -179,7 +174,7 @@ func (s *System) readFromL3(tileID int, line mem.LineAddr, now int64, write bool
 	// Request message to the home bank, then the bank access itself (which
 	// may have to wait for refresh activity on the bank port).
 	t := now + s.nocSend(tileID, bank, ctrlMsgBytes)
-	t = home.L3.PortStart(t) + s.cfg.L3.AccessTime
+	t = home.L3.PortStart(t) + s.l3Time
 	s.countRead(stats.L3)
 
 	frame, hit := home.L3.Probe(line, t)
@@ -222,7 +217,7 @@ func (s *System) upgradeAtL3(tileID int, line mem.LineAddr, now int64) int64 {
 	bank := s.bankOf(line)
 	home := s.tiles[bank]
 	t := now + s.nocSend(tileID, bank, ctrlMsgBytes)
-	t = home.L3.PortStart(t) + s.cfg.L3.AccessTime
+	t = home.L3.PortStart(t) + s.l3Time
 	s.countRead(stats.L3)
 	frame, hit := home.L3.Probe(line, t)
 	if hit {
@@ -250,11 +245,13 @@ func (s *System) installInL3(home *Tile, bank int, line mem.LineAddr, now int64)
 		// Inclusive eviction: every private copy of the victim must go.
 		act := home.Dir.InvalidateLine(vaddr)
 		dirtyAbove := false
-		for _, sharer := range act.InvalidateCores {
+		for cs := act.Invalidates; !cs.Empty(); {
+			var sharer int
+			sharer, cs = cs.Pop()
 			t := s.tiles[sharer]
-			l2Old, hadL2 := t.L2.Invalidate(vaddr, now)
-			t.IL1.Invalidate(vaddr, now)
-			t.DL1.Invalidate(vaddr, now)
+			l2Old, hadL2 := t.L2.Invalidate(vaddr)
+			t.IL1.Invalidate(vaddr)
+			t.DL1.Invalidate(vaddr)
 			s.st.CoherenceInvalidations++
 			s.nocSend(bank, sharer, ctrlMsgBytes)
 			if hadL2 && l2Old.Dirty() {
@@ -278,20 +275,22 @@ func (s *System) applyCoherence(bank, requester int, line mem.LineAddr, act cohe
 	// Invalidate remote sharers (store or upgrade).  The invalidations are
 	// sent in parallel; the requester waits for the farthest acknowledgement.
 	var worst int64
-	for _, sharer := range act.InvalidateCores {
+	for cs := act.Invalidates; !cs.Empty(); {
+		var sharer int
+		sharer, cs = cs.Pop()
 		if sharer == requester {
 			continue
 		}
 		rt := s.nocSend(bank, sharer, ctrlMsgBytes)
 		tile := s.tiles[sharer]
-		l2Old, hadL2 := tile.L2.Invalidate(line, now)
-		tile.IL1.Invalidate(line, now)
-		tile.DL1.Invalidate(line, now)
+		l2Old, hadL2 := tile.L2.Invalidate(line)
+		tile.IL1.Invalidate(line)
+		tile.DL1.Invalidate(line)
 		s.st.CoherenceInvalidations++
 		if hadL2 && l2Old.Dirty() {
 			// Dirty remote copy: its data comes back with the ack.
 			rt += s.nocSend(sharer, bank, dataMsgBytes)
-			frame.State = mem.Modified
+			s.tiles[bank].L3.SetState(frame, mem.Modified)
 			s.st.CoherenceForwards++
 		} else {
 			rt += s.nocSend(sharer, bank, ctrlMsgBytes)
@@ -311,7 +310,7 @@ func (s *System) applyCoherence(bank, requester int, line mem.LineAddr, act cohe
 		wasDirty := false
 		if l2, ok := tile.L2.Peek(line); ok {
 			wasDirty = l2.Dirty()
-			l2.State = mem.Shared
+			tile.L2.SetState(l2, mem.Shared)
 			tile.L2.Touch(l2, now)
 		}
 		s.st.CoherenceDowngrades++
@@ -321,7 +320,7 @@ func (s *System) applyCoherence(bank, requester int, line mem.LineAddr, act cohe
 			rt += s.nocSend(owner, bank, dataMsgBytes)
 			s.st.Level(stats.L2).Writebacks++
 			s.st.CoherenceForwards++
-			frame.State = mem.Modified
+			s.tiles[bank].L3.SetState(frame, mem.Modified)
 		} else {
 			rt += s.nocSend(owner, bank, ctrlMsgBytes)
 		}

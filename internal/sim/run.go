@@ -1,8 +1,6 @@
 package sim
 
 import (
-	"container/heap"
-
 	"refrint/internal/energy"
 	"refrint/internal/stats"
 )
@@ -25,13 +23,67 @@ type coreEntry struct {
 	time int64
 }
 
+// coreHeap is a typed binary min-heap over coreEntry, ordered by time.  It
+// replaces container/heap on the run loop's hottest edge: the stdlib API
+// boxes every pushed and popped entry through `any`, which costs one heap
+// allocation per simulated memory operation.  The sift routines mirror
+// container/heap's up/down exactly (same comparisons, same swap order), so
+// the pop order — including how ties between equal local clocks resolve —
+// is bit-identical to the previous implementation and the golden figure
+// series are unchanged.
 type coreHeap []coreEntry
 
-func (h coreHeap) Len() int           { return len(h) }
-func (h coreHeap) Less(i, j int) bool { return h[i].time < h[j].time }
-func (h coreHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *coreHeap) Push(x any)        { *h = append(*h, x.(coreEntry)) }
-func (h *coreHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h coreHeap) init() {
+	n := len(h)
+	for i := n/2 - 1; i >= 0; i-- {
+		h.down(i, n)
+	}
+}
+
+func (h *coreHeap) push(e coreEntry) {
+	*h = append(*h, e)
+	h.up(len(*h) - 1)
+}
+
+func (h *coreHeap) pop() coreEntry {
+	old := *h
+	n := len(old) - 1
+	old[0], old[n] = old[n], old[0]
+	old.down(0, n)
+	e := old[n]
+	*h = old[:n]
+	return e
+}
+
+func (h coreHeap) up(j int) {
+	for {
+		i := (j - 1) / 2 // parent
+		if i == j || h[j].time >= h[i].time {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		j = i
+	}
+}
+
+func (h coreHeap) down(i0, n int) {
+	i := i0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n || j1 < 0 { // j1 < 0 after int overflow
+			break
+		}
+		j := j1 // left child
+		if j2 := j1 + 1; j2 < n && h[j2].time < h[j1].time {
+			j = j2 // = 2*i + 2  // right child
+		}
+		if h[j].time >= h[i].time {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
+}
 
 // Run executes the application to completion and returns the result.
 //
@@ -46,10 +98,10 @@ func (s *System) Run() Result {
 	for i := range s.tiles {
 		h = append(h, coreEntry{tile: i, time: 0})
 	}
-	heap.Init(&h)
+	h.init()
 
-	for h.Len() > 0 {
-		entry := heap.Pop(&h).(coreEntry)
+	for len(h) > 0 {
+		entry := h.pop()
 		tile := s.tiles[entry.tile]
 		gen := s.app.Thread(entry.tile)
 
@@ -64,7 +116,7 @@ func (s *System) Run() Result {
 		doneAt := s.access(entry.tile, a, issueAt)
 		tile.Core.CompleteMemOp(doneAt)
 
-		heap.Push(&h, coreEntry{tile: entry.tile, time: tile.Core.Now()})
+		h.push(coreEntry{tile: entry.tile, time: tile.Core.Now()})
 	}
 
 	return s.finish()
@@ -103,10 +155,10 @@ func (s *System) finish() Result {
 	// data will be written back to main memory").
 	if s.cfg.EndOfRunFlush {
 		for _, tile := range s.tiles {
-			s.st.FlushWritebacks += int64(len(tile.L2.Flush()))
-			s.st.FlushWritebacks += int64(len(tile.L3.Flush()))
-			tile.IL1.Flush()
-			tile.DL1.Flush()
+			s.st.FlushWritebacks += tile.L2.FlushCount()
+			s.st.FlushWritebacks += tile.L3.FlushCount()
+			tile.IL1.FlushCount()
+			tile.DL1.FlushCount()
 		}
 	}
 

@@ -56,6 +56,13 @@ type System struct {
 	// runs L1 and L2 with the Valid data policy and applies the swept data
 	// policy only at L3 (Section 6.2).
 	l1l2Policy config.Policy
+
+	// Per-access constants hoisted out of the config structs so the access
+	// path does not copy a CacheConfig per lookup.
+	il1Time, dl1Time, l2Time, l3Time int64
+	hopLatency                       int64
+	flitsCtrl, flitsData             int64
+	bankMask                         int // L3.Banks-1 when a power of two, else -1
 }
 
 // New builds a System for one application under one configuration.
@@ -80,6 +87,17 @@ func New(cfg config.Config, app workload.Params, seed int64) (*System, error) {
 		st:   stats.New(cfg.Cores),
 	}
 	s.l1l2Policy = privatePolicy(cfg.Policy)
+	s.il1Time = cfg.IL1.AccessTime
+	s.dl1Time = cfg.DL1.AccessTime
+	s.l2Time = cfg.L2.AccessTime
+	s.l3Time = cfg.L3.AccessTime
+	s.hopLatency = cfg.NoC.HopLatency
+	s.flitsCtrl = int64(s.net.Flits(ctrlMsgBytes))
+	s.flitsData = int64(s.net.Flits(dataMsgBytes))
+	s.bankMask = -1
+	if b := cfg.L3.Banks; b > 0 && b&(b-1) == 0 {
+		s.bankMask = b - 1
+	}
 
 	s.tiles = make([]*Tile, cfg.Cores)
 	for i := 0; i < cfg.Cores; i++ {
@@ -126,15 +144,32 @@ func (s *System) Tile(i int) *Tile { return s.tiles[i] }
 
 // bankOf returns the L3 bank index a line maps to (line interleaving).
 func (s *System) bankOf(addr mem.LineAddr) int {
+	if s.bankMask >= 0 {
+		return int(addr) & s.bankMask
+	}
 	return int(uint64(addr) % uint64(s.cfg.L3.Banks))
 }
 
-// noc records one message on the network and returns its delivery latency.
+// nocSend records one message on the network and returns its delivery
+// latency.  It mirrors Torus.Latency/FlitHops with the hop table and the
+// precomputed flit counts so one message costs one table load.
 func (s *System) nocSend(src, dst, bytes int) int64 {
+	hops := int64(s.net.Hops(src, dst))
+	flits := s.flitsCtrl
+	if bytes != ctrlMsgBytes {
+		flits = s.flitsData
+		if bytes != dataMsgBytes {
+			flits = int64(s.net.Flits(bytes))
+		}
+	}
 	s.st.NoCMessages++
-	s.st.NoCHops += int64(s.net.Hops(src, dst))
-	s.st.NoCFlits += s.net.FlitHops(src, dst, bytes)
-	return s.net.Latency(src, dst, bytes)
+	s.st.NoCHops += hops
+	s.st.NoCFlits += flits * hops
+	if hops == 0 {
+		return 0
+	}
+	// Head flit pays the full hop latency; body flits stream behind it.
+	return hops*s.hopLatency + flits - 1
 }
 
 // dramAccess performs one DRAM access starting at `now`, charges it to the
@@ -182,8 +217,8 @@ func (s *System) l2Hooks(tileID int) core.Hooks {
 		},
 		Invalidate: func(addr mem.LineAddr, wasDirty bool, now int64) {
 			tile := s.tiles[tileID]
-			tile.IL1.Invalidate(addr, now)
-			tile.DL1.Invalidate(addr, now)
+			tile.IL1.Invalidate(addr)
+			tile.DL1.Invalidate(addr)
 			home := s.tiles[s.bankOf(addr)]
 			if wasDirty {
 				// Dirty data must reach the L3 before the copy disappears.
@@ -207,11 +242,13 @@ func (s *System) l3Hooks(bankTile int) core.Hooks {
 		Invalidate: func(addr mem.LineAddr, wasDirty bool, now int64) {
 			home := s.tiles[bankTile]
 			act := home.Dir.InvalidateLine(addr)
-			for _, sharer := range act.InvalidateCores {
+			for cs := act.Invalidates; !cs.Empty(); {
+				var sharer int
+				sharer, cs = cs.Pop()
 				t := s.tiles[sharer]
-				l2Old, hadL2 := t.L2.Invalidate(addr, now)
-				t.IL1.Invalidate(addr, now)
-				t.DL1.Invalidate(addr, now)
+				l2Old, hadL2 := t.L2.Invalidate(addr)
+				t.IL1.Invalidate(addr)
+				t.DL1.Invalidate(addr)
 				s.st.CoherenceInvalidations++
 				s.nocSend(bankTile, sharer, ctrlMsgBytes)
 				if hadL2 && l2Old.Dirty() {
@@ -233,7 +270,7 @@ func (s *System) l3Hooks(bankTile int) core.Hooks {
 func (s *System) writebackToL2(tileID int, addr mem.LineAddr, now int64) {
 	tile := s.tiles[tileID]
 	if l, ok := tile.L2.Probe(addr, now); ok {
-		l.State = mem.Modified
+		tile.L2.SetState(l, mem.Modified)
 		tile.L2.Touch(l, now)
 		s.st.Level(stats.L2).Writes++
 	}
@@ -248,7 +285,7 @@ func (s *System) writebackToL3(tileID int, addr mem.LineAddr, now int64) {
 	s.nocSend(tileID, bank, dataMsgBytes)
 	s.st.Level(stats.L2).Writebacks++
 	if l, ok := home.L3.Probe(addr, now); ok {
-		l.State = mem.Modified
+		home.L3.SetState(l, mem.Modified)
 		home.L3.Touch(l, now)
 		s.st.Level(stats.L3).Writes++
 		return

@@ -120,7 +120,9 @@ func (g *Generator) remember(line mem.LineAddr) {
 		return
 	}
 	g.window[g.wpos] = line
-	g.wpos = (g.wpos + 1) % len(g.window)
+	if g.wpos++; g.wpos == len(g.window) {
+		g.wpos = 0
+	}
 }
 
 // Next produces the thread's next memory reference.  It returns false when
