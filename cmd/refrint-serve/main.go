@@ -1,7 +1,7 @@
 // Command refrint-serve runs the Refrint sweep service: an HTTP API that
-// accepts sweep jobs, executes them on a bounded sharded worker pool, caches
-// results by canonical sweep key, and serves the paper's Table 6.1 and
-// Figure 6.1-6.4 data series as JSON.
+// accepts sweep jobs, executes them on a bounded priority-aware
+// work-stealing scheduler, caches results by canonical sweep key, and serves
+// the paper's Table 6.1 and Figure 6.1-6.4 data series as JSON.
 //
 // Quickstart:
 //
@@ -11,9 +11,17 @@
 //	curl -s localhost:8080/v1/sweeps/job-000001            # poll progress
 //	curl -s localhost:8080/v1/sweeps/job-000001/figures    # figure series (job id or sweep key)
 //	curl -s -X DELETE localhost:8080/v1/sweeps/job-000001  # cancel
+//	curl -s -X POST localhost:8080/v1/batches \
+//	     -d '{"priority":"background","client":"nightly","requests":[{"apps":["FFT"]},{"apps":["LU"]}]}'
+//	curl -s localhost:8080/v1/batches/batch-000001         # aggregated batch state
 //	curl -s localhost:8080/v1/sims                         # catalog
 //	curl -s localhost:8080/healthz
 //	curl -s localhost:8080/metrics                         # operational counters
+//
+// Sweeps carry an optional priority class (interactive > batch >
+// background) and client label; classes dequeue by weighted fair share
+// (-class-weights), clients within a class round-robin, and idle workers
+// steal queued work, so no worker idles while any queue holds sweeps.
 //
 // With -data-dir, completed sweeps and their individual simulation cells are
 // persisted: a restarted server serves previously completed sweeps without
@@ -29,21 +37,48 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
+	"refrint/internal/sched"
 	"refrint/internal/server"
 	"refrint/internal/store"
 )
 
+// parseClassTriple parses a "interactive,batch,background" integer triple
+// flag ("" means all defaults; positive values only).
+func parseClassTriple(flagName, s string) ([sched.NumClasses]int, error) {
+	var out [sched.NumClasses]int
+	if s == "" {
+		return out, nil
+	}
+	parts := strings.Split(s, ",")
+	if len(parts) != sched.NumClasses {
+		return out, fmt.Errorf("-%s: want %d comma-separated values (interactive,batch,background), got %q", flagName, sched.NumClasses, s)
+	}
+	for i, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || n <= 0 {
+			return out, fmt.Errorf("-%s: value %q must be a positive integer", flagName, p)
+		}
+		out[i] = n
+	}
+	return out, nil
+}
+
 func main() {
 	var (
 		addr          = flag.String("addr", ":8080", "listen address")
-		shards        = flag.Int("shards", 2, "worker shards (concurrent sweeps)")
-		queueDepth    = flag.Int("queue-depth", 8, "pending sweeps per shard")
+		shards        = flag.Int("shards", 2, "worker goroutines (concurrent sweeps)")
+		queueDepth    = flag.Int("queue-depth", 8, "pending sweeps per worker per priority class (each class admits shards*queue-depth)")
+		classDepths   = flag.String("class-queue-depths", "", "per-class queued-sweep bounds as interactive,batch,background (overrides -queue-depth scaling)")
+		classWeights  = flag.String("class-weights", "", "weighted-fair dequeue shares as interactive,batch,background (default 16,4,1)")
 		cacheEntries  = flag.Int("cache", 32, "completed sweeps kept for reuse")
 		sweepWorkers  = flag.Int("sweep-workers", 0, "simulation concurrency per sweep (0 = NumCPU/shards)")
 		jobHistory    = flag.Int("job-history", 1024, "finished jobs kept pollable")
+		batchHistory  = flag.Int("batch-history", 256, "finished batches kept pollable")
 		dataDir       = flag.String("data-dir", "", "persist results (whole sweeps and individual cells) under this directory; restarts serve completed sweeps without re-running them")
 		storeMaxBytes = flag.Int64("store-max-bytes", 1<<30, "LRU byte budget of the persistent store (with -data-dir)")
 	)
@@ -51,9 +86,19 @@ func main() {
 
 	logger := log.New(os.Stderr, "refrint-serve: ", log.LstdFlags)
 
+	depths, err := parseClassTriple("class-queue-depths", *classDepths)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "refrint-serve:", err)
+		os.Exit(2)
+	}
+	weights, err := parseClassTriple("class-weights", *classWeights)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "refrint-serve:", err)
+		os.Exit(2)
+	}
+
 	var st *store.Store
 	if *dataDir != "" {
-		var err error
 		st, err = store.Open(*dataDir, store.Options{MaxBytes: *storeMaxBytes, Logf: logger.Printf})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "refrint-serve:", err)
@@ -64,13 +109,16 @@ func main() {
 	}
 
 	svc := server.New(server.Config{
-		Shards:       *shards,
-		QueueDepth:   *queueDepth,
-		CacheEntries: *cacheEntries,
-		SweepWorkers: *sweepWorkers,
-		JobHistory:   *jobHistory,
-		Store:        st,
-		Logf:         logger.Printf,
+		Shards:          *shards,
+		QueueDepth:      *queueDepth,
+		ClassQueueDepth: depths,
+		ClassWeights:    weights,
+		CacheEntries:    *cacheEntries,
+		SweepWorkers:    *sweepWorkers,
+		JobHistory:      *jobHistory,
+		BatchHistory:    *batchHistory,
+		Store:           st,
+		Logf:            logger.Printf,
 	})
 	defer svc.Close()
 

@@ -1,0 +1,46 @@
+//go:build !race
+
+// The race runtime instruments allocation accounting, so the AllocsPerRun
+// assertions here only run in the plain test suite (the tier-1 gate).
+package sched
+
+import "testing"
+
+// TestSubmitDequeueZeroAllocs pins the hot-path contract that replaced the
+// old pool's per-submission fnv.New32a heap allocation: once the item free
+// list, client queues and rings are warm, a full submit / cancel / dequeue /
+// finish cycle allocates nothing.
+func TestSubmitDequeueZeroAllocs(t *testing.T) {
+	s := New(Config{Workers: 2, Depth: [NumClasses]int{64, 64, 64}})
+	payload := &struct{ n int }{}
+	keys := [4]string{"key-a", "key-b", "key-c", "key-d"}
+	clients := [2]string{"alice", "bob"}
+
+	cycle := func() {
+		for i, k := range keys {
+			if _, ok := s.Submit(k, clients[i%2], Class(i%NumClasses), payload); !ok {
+				t.Fatal("warm submit rejected")
+			}
+		}
+		h, ok := s.Submit(keys[0], clients[0], Background, payload)
+		if !ok {
+			t.Fatal("warm cancel-target submit rejected")
+		}
+		if !s.Cancel(h) {
+			t.Fatal("warm cancel failed")
+		}
+		for drained := 0; drained < len(keys); drained++ {
+			it := s.tryNext(drained % 2)
+			if it == nil {
+				t.Fatal("warm dequeue found nothing")
+			}
+			s.done(it)
+		}
+	}
+	for i := 0; i < 64; i++ {
+		cycle() // grow rings, client maps and the free list to steady state
+	}
+	if avg := testing.AllocsPerRun(200, cycle); avg != 0 {
+		t.Errorf("warm submit/cancel/dequeue cycle allocates %.2f objects, want 0", avg)
+	}
+}

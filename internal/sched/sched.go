@@ -1,0 +1,644 @@
+// Package sched is the priority-aware work-stealing scheduler behind the
+// sweep service.  It replaces a fixed key-hash sharded channel pool with a
+// design built for large heterogeneous experiment campaigns:
+//
+//   - Three priority classes (Interactive > Batch > Background), each a set
+//     of FIFO queues, dequeued by weighted round-robin so low classes cannot
+//     starve but an interactive submission starts ahead of queued batch work.
+//   - Weighted fair share across submitting clients inside a class: each
+//     client has its own FIFO and active clients are served round-robin, so
+//     one tenant flooding a class cannot monopolize it.
+//   - Work stealing: a submission is homed to a worker by key hash (repeated
+//     submissions of one sweep land on one worker), but each dequeue picks
+//     its class by weighted round-robin over every queue the worker can
+//     reach — its own and all siblings' — then serves its own queue of that
+//     class, stealing from the most loaded sibling only when it has none.
+//     Urgent work anywhere beats less urgent local work, exhausted credits
+//     still let lower classes through (no starvation), and no worker idles
+//     while any queue holds work.
+//   - First-class cancellation: Cancel removes a queued item immediately and
+//     frees its bounded-capacity slot at cancel time, so a queue full of dead
+//     work can never reject live submissions.
+//
+// The hot submit/dequeue path performs no heap allocations in steady state:
+// items come from a free list, client queues are reusable ring buffers, and
+// key hashing is an inline FNV-1a (no hash.Hash construction).  All state is
+// guarded by one mutex; items are heavyweight (whole parameter sweeps), so
+// scheduling cost is noise next to execution cost — the mutex buys simple
+// invariants: exact per-class/per-client/per-worker live counts, and a
+// condition variable that guarantees a waiting worker is woken whenever work
+// exists.
+package sched
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Class is a scheduling priority class.  Lower values are more urgent.
+type Class int
+
+// The three priority classes, most to least urgent.
+const (
+	Interactive Class = iota
+	Batch
+	Background
+)
+
+// NumClasses is the number of priority classes.
+const NumClasses = 3
+
+// String returns the wire label of the class.
+func (c Class) String() string {
+	switch c {
+	case Interactive:
+		return "interactive"
+	case Batch:
+		return "batch"
+	case Background:
+		return "background"
+	}
+	return fmt.Sprintf("class(%d)", int(c))
+}
+
+// ParseClass maps a wire label to a Class.  The empty string is not accepted
+// here; callers pick their own default.
+func ParseClass(s string) (Class, error) {
+	switch s {
+	case "interactive":
+		return Interactive, nil
+	case "batch":
+		return Batch, nil
+	case "background":
+		return Background, nil
+	}
+	return 0, fmt.Errorf("sched: unknown priority class %q (want interactive, batch or background)", s)
+}
+
+// DefaultWeights are the weighted-round-robin dequeue weights per class when
+// Config.Weights is unset: with all classes backlogged, one full cycle serves
+// 16 interactive, 4 batch and 1 background item.
+var DefaultWeights = [NumClasses]int{16, 4, 1}
+
+// Config tunes a Scheduler.  The zero value is usable.
+type Config struct {
+	// Workers is the number of worker goroutines Start spawns (default 2).
+	Workers int
+	// Depth bounds the queued (not yet running) items per class (default 16
+	// each).  Submit reports false when the item's class is full.
+	Depth [NumClasses]int
+	// Weights are the weighted-round-robin dequeue shares per class
+	// (default DefaultWeights; minimum 1 each).
+	Weights [NumClasses]int
+	// Now is the clock used for scheduling-latency accounting (default
+	// time.Now; injectable for tests).
+	Now func() time.Time
+}
+
+// Handle identifies one queued submission for Cancel/Promote.  The zero
+// value is inert: Cancel and Promote on it report false.  A handle stays
+// valid for the lifetime of its item; once the item finishes (or is
+// cancelled) the handle goes stale and all operations on it report false,
+// even after the scheduler recycles the item's memory.
+type Handle struct {
+	it  *item
+	gen uint32
+}
+
+// Item lifecycle states.
+const (
+	itemQueued uint8 = iota
+	itemCancelled
+	itemTaken
+)
+
+// item is one queued submission.  Items are pooled: gen increments on every
+// release so stale Handles cannot touch a recycled item.
+type item struct {
+	payload any
+	client  string
+	class   Class
+	home    int
+	at      time.Time
+	state   uint8
+	gen     uint32
+	next    *item // free list link
+}
+
+// clientQueue is one client's FIFO within a class: a reusable ring buffer.
+type clientQueue struct {
+	name   string
+	buf    []*item
+	head   int
+	n      int
+	live   int // queued items not yet cancelled
+	inRing bool
+}
+
+func (q *clientQueue) push(it *item) {
+	if q.n == len(q.buf) {
+		grown := make([]*item, max(4, 2*len(q.buf)))
+		for i := 0; i < q.n; i++ {
+			grown[i] = q.buf[(q.head+i)%len(q.buf)]
+		}
+		q.buf, q.head = grown, 0
+	}
+	q.buf[(q.head+q.n)%len(q.buf)] = it
+	q.n++
+}
+
+func (q *clientQueue) front() *item { return q.buf[q.head] }
+func (q *clientQueue) back() *item  { return q.buf[(q.head+q.n-1)%len(q.buf)] }
+
+func (q *clientQueue) popFront() *item {
+	it := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
+	return it
+}
+
+func (q *clientQueue) popBack() *item {
+	i := (q.head + q.n - 1) % len(q.buf)
+	it := q.buf[i]
+	q.buf[i] = nil
+	q.n--
+	return it
+}
+
+// classQueue is one priority class on one worker: per-client FIFOs served
+// round-robin via the active-client ring.
+type classQueue struct {
+	clients map[string]*clientQueue
+	ring    []*clientQueue // clients with buffered items, in arrival order
+	next    int            // round-robin cursor into ring
+	live    int            // queued items not yet cancelled, all clients
+}
+
+// worker is the per-worker scheduling state (queues + dequeue credits).
+// Workers are identified by index; the goroutines themselves live in Start.
+type worker struct {
+	classes [NumClasses]classQueue
+	credits [NumClasses]int
+	live    int // queued items not yet cancelled, all classes
+}
+
+// Scheduler dispatches submitted items to worker goroutines.
+type Scheduler struct {
+	cfg Config
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	workers []*worker
+	queued  [NumClasses]int // live queued items per class, all workers
+	busy    int             // workers currently running an item
+	closed  bool
+	free    *item          // free list of recycled items
+	cqFree  []*clientQueue // free list of recycled client FIFOs
+	wg      sync.WaitGroup
+
+	steals    int64
+	waitSum   [NumClasses]time.Duration
+	waitCount [NumClasses]int64
+}
+
+// New builds a scheduler.  Call Start to spawn the workers (tests drive the
+// queues directly instead) and Close to stop them.
+func New(cfg Config) *Scheduler {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	for c := 0; c < NumClasses; c++ {
+		if cfg.Depth[c] <= 0 {
+			cfg.Depth[c] = 16
+		}
+		if cfg.Weights[c] <= 0 {
+			cfg.Weights[c] = DefaultWeights[c]
+		}
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	s := &Scheduler{cfg: cfg}
+	s.cond = sync.NewCond(&s.mu)
+	s.workers = make([]*worker, cfg.Workers)
+	for i := range s.workers {
+		w := &worker{credits: cfg.Weights}
+		for c := range w.classes {
+			w.classes[c].clients = make(map[string]*clientQueue)
+		}
+		s.workers[i] = w
+	}
+	return s
+}
+
+// Home returns the worker index a key is homed to.  Exported so tests can
+// construct deterministic placements.
+func Home(key string, workers int) int {
+	return int(fnv32a(key) % uint32(workers))
+}
+
+// fnv32a is an inline FNV-1a over the key: hashing on the submit path must
+// not construct a hash.Hash (one heap allocation per submission).
+func fnv32a(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint32(s[i])) * 16777619
+	}
+	return h
+}
+
+// Submit enqueues payload under the given sweep key, client label and class.
+// It reports false when the class's queue is full or the scheduler is
+// closed.  The returned Handle cancels or promotes the item while it is
+// still queued.
+func (s *Scheduler) Submit(key, client string, class Class, payload any) (Handle, bool) {
+	if class < 0 || class >= NumClasses {
+		return Handle{}, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || s.queued[class] >= s.cfg.Depth[class] {
+		return Handle{}, false
+	}
+	it := s.newItemLocked()
+	it.payload = payload
+	it.client = client
+	it.class = class
+	it.home = Home(key, len(s.workers))
+	it.at = s.cfg.Now()
+	it.state = itemQueued
+	s.enqueueLocked(it)
+	s.cond.Signal()
+	return Handle{it: it, gen: it.gen}, true
+}
+
+// StillQueued reports whether the handle's item is still waiting in a queue
+// — i.e. whether Cancel or Promote on it could still take effect.
+func (s *Scheduler) StillQueued(h Handle) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return h.it != nil && h.it.gen == h.gen && h.it.state == itemQueued
+}
+
+// Cancel removes a queued item, freeing its class capacity immediately — the
+// structural fix for cancelled work camping on bounded queue slots.  It
+// reports false when the handle is stale or the item already started.
+func (s *Scheduler) Cancel(h Handle) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if h.it == nil || h.it.gen != h.gen || h.it.state != itemQueued {
+		return false
+	}
+	s.cancelLocked(h.it)
+	return true
+}
+
+// Promote moves a still-queued item to another class (in either direction),
+// keeping its fair-share position (same client FIFO).  The target class's
+// depth bound is enforced like Submit's: a full class declines the
+// promotion (reporting false with the item untouched), so repeated
+// submit-then-promote cycles cannot grow a class beyond its bound.  The
+// item's wait so far is charged to the class it is leaving and its clock
+// restarts, so per-class latency metrics reflect time actually spent in
+// each class.  It returns the handle now identifying the item and reports
+// false when the item is no longer queued or the target class is full.
+func (s *Scheduler) Promote(h Handle, to Class) (Handle, bool) {
+	if to < 0 || to >= NumClasses {
+		return h, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	it := h.it
+	if it == nil || it.gen != h.gen || it.state != itemQueued {
+		return h, false
+	}
+	if it.class == to {
+		return h, true
+	}
+	if s.queued[to] >= s.cfg.Depth[to] {
+		return h, false
+	}
+	// Capture before cancelLocked: edge-trimming may recycle it.
+	payload, client, home, at, from := it.payload, it.client, it.home, it.at, it.class
+	s.cancelLocked(it)
+	now := s.cfg.Now()
+	s.waitSum[from] += now.Sub(at)
+	nit := s.newItemLocked()
+	nit.payload = payload
+	nit.client = client
+	nit.class = to
+	nit.home = home
+	nit.at = now
+	nit.state = itemQueued
+	s.enqueueLocked(nit)
+	return Handle{it: nit, gen: nit.gen}, true
+}
+
+// Start spawns the worker goroutines; run is invoked once per dequeued
+// payload.  Items submitted before Start simply wait.
+func (s *Scheduler) Start(run func(payload any)) {
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.wg.Add(1)
+		go func(idx int) {
+			defer s.wg.Done()
+			for {
+				it := s.next(idx)
+				if it == nil {
+					return
+				}
+				run(it.payload)
+				s.done(it)
+			}
+		}(i)
+	}
+}
+
+// Close rejects further submissions, lets the workers drain every queued
+// item (each still passes through run, which observes its cancelled context)
+// and waits for them to exit.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.cond.Broadcast()
+	s.wg.Wait()
+}
+
+// Stats is a snapshot of the scheduler's counters.
+type Stats struct {
+	// Workers and Busy count worker goroutines (total / currently running
+	// an item).
+	Workers, Busy int
+	// Queued counts live queued items per class.
+	Queued [NumClasses]int
+	// Steals counts dequeues where an idle worker took an item homed to a
+	// sibling.
+	Steals int64
+	// WaitSum and WaitCount accumulate queue-wait latency per class.
+	// WaitCount counts dequeues; WaitSum also includes the time promoted
+	// items spent in a class before Promote moved them out of it.
+	WaitSum   [NumClasses]time.Duration
+	WaitCount [NumClasses]int64
+}
+
+// Stats returns a snapshot of the scheduler's counters.
+func (s *Scheduler) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Workers:   len(s.workers),
+		Busy:      s.busy,
+		Queued:    s.queued,
+		Steals:    s.steals,
+		WaitSum:   s.waitSum,
+		WaitCount: s.waitCount,
+	}
+}
+
+// Queued returns the total number of live queued items.
+func (s *Scheduler) Queued() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, q := range s.queued {
+		n += q
+	}
+	return n
+}
+
+// Free returns the remaining queue capacity of a class.  It is a snapshot:
+// callers that need check-then-submit atomicity (the batch endpoint) must
+// serialize their submissions externally — dequeues only ever increase it.
+func (s *Scheduler) Free(class Class) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cfg.Depth[class] - s.queued[class]
+}
+
+// --- internals (caller holds s.mu unless noted) ---
+
+func (s *Scheduler) newItemLocked() *item {
+	if it := s.free; it != nil {
+		s.free = it.next
+		it.next = nil
+		return it
+	}
+	return &item{}
+}
+
+// releaseLocked recycles an item.  The gen bump invalidates every
+// outstanding Handle to it.
+func (s *Scheduler) releaseLocked(it *item) {
+	it.payload = nil
+	it.client = ""
+	it.gen++
+	it.next = s.free
+	s.free = it
+}
+
+func (s *Scheduler) enqueueLocked(it *item) {
+	w := s.workers[it.home]
+	cq := &w.classes[it.class]
+	c := cq.clients[it.client]
+	if c == nil {
+		if n := len(s.cqFree); n > 0 {
+			c = s.cqFree[n-1]
+			s.cqFree = s.cqFree[:n-1]
+		} else {
+			c = &clientQueue{}
+		}
+		c.name = it.client
+		cq.clients[it.client] = c
+	}
+	c.push(it)
+	c.live++
+	if !c.inRing {
+		cq.ring = append(cq.ring, c)
+		c.inRing = true
+	}
+	cq.live++
+	w.live++
+	s.queued[it.class]++
+}
+
+// cancelLocked tombstones a queued item, drops it from every live count and
+// trims tombstones off both ends of its client FIFO so a fully-cancelled
+// queue releases its items without waiting for a dequeue visit.
+func (s *Scheduler) cancelLocked(it *item) {
+	it.state = itemCancelled
+	w := s.workers[it.home]
+	cq := &w.classes[it.class]
+	c := cq.clients[it.client]
+	c.live--
+	cq.live--
+	w.live--
+	s.queued[it.class]--
+	for c.n > 0 && c.front().state == itemCancelled {
+		s.releaseLocked(c.popFront())
+	}
+	for c.n > 0 && c.back().state == itemCancelled {
+		s.releaseLocked(c.popBack())
+	}
+	if c.n == 0 {
+		for i, rc := range cq.ring {
+			if rc == c {
+				cq.ring = append(cq.ring[:i], cq.ring[i+1:]...)
+				if cq.next > i {
+					cq.next-- // keep the round-robin cursor stable
+				}
+				break
+			}
+		}
+		s.retireClientLocked(cq, c)
+	}
+}
+
+// retireClientLocked removes a drained client FIFO from its class map and
+// recycles the struct (keeping its ring buffer): client labels are arbitrary
+// wire input, so drained queues must not accumulate for the process
+// lifetime.  The caller has already taken c out of the active ring.
+func (s *Scheduler) retireClientLocked(cq *classQueue, c *clientQueue) {
+	delete(cq.clients, c.name)
+	c.name = ""
+	c.head = 0
+	c.inRing = false
+	s.cqFree = append(s.cqFree, c)
+}
+
+// pickClass chooses the class the worker serves next among the available
+// ones (avail[c] meaning class c has live work somewhere this worker can
+// reach): the most urgent available class that still has round-robin
+// credit, refilling all credits when every available class has spent its
+// share.  Weighted fair: with everything backlogged a full cycle serves
+// Weights[c] items of class c, most urgent first — and because stolen work
+// spends credits exactly like home work, a sustained interactive flood
+// cannot starve lower classes no matter how it is spread across workers.
+func (s *Scheduler) pickClass(w *worker, avail [NumClasses]bool) Class {
+	for pass := 0; pass < 2; pass++ {
+		for c := Class(0); c < NumClasses; c++ {
+			if avail[c] && w.credits[c] > 0 {
+				w.credits[c]--
+				return c
+			}
+		}
+		w.credits = s.cfg.Weights
+	}
+	return -1
+}
+
+// popClass dequeues the next live item of one class: clients are served
+// round-robin, tombstoned (cancelled) items are skipped and recycled, and a
+// client whose FIFO empties leaves the ring until its next submission.
+func (s *Scheduler) popClass(cq *classQueue) *item {
+	for cq.live > 0 {
+		if cq.next >= len(cq.ring) {
+			cq.next = 0
+		}
+		c := cq.ring[cq.next]
+		for c.n > 0 && c.front().state == itemCancelled {
+			s.releaseLocked(c.popFront())
+		}
+		if c.n == 0 {
+			cq.ring = append(cq.ring[:cq.next], cq.ring[cq.next+1:]...)
+			s.retireClientLocked(cq, c)
+			continue
+		}
+		it := c.popFront()
+		c.live--
+		cq.live--
+		if c.n == 0 {
+			cq.ring = append(cq.ring[:cq.next], cq.ring[cq.next+1:]...)
+			s.retireClientLocked(cq, c)
+		} else {
+			cq.next++
+		}
+		return it
+	}
+	return nil
+}
+
+// takeLocked is one dequeue attempt for worker idx.  The class is chosen by
+// the worker's weighted round-robin credits over everything it can reach —
+// its own queues and every sibling's (so urgent work anywhere beats less
+// urgent local work, but exhausted credits still let lower classes through:
+// no starvation).  Within the chosen class its own queue wins; otherwise it
+// steals from the most loaded sibling holding that class.  An idle worker
+// thus never waits while any queue is non-empty.  Accounting (busy, steal
+// count, scheduling latency) happens here.
+func (s *Scheduler) takeLocked(idx int) *item {
+	w := s.workers[idx]
+	var avail [NumClasses]bool
+	var victim [NumClasses]int // most loaded sibling holding each class
+	var vload [NumClasses]int
+	for c := range victim {
+		victim[c] = -1
+		avail[c] = w.classes[c].live > 0
+	}
+	any := w.live > 0
+	for i, ww := range s.workers {
+		if i == idx || ww.live == 0 {
+			continue
+		}
+		for c := Class(0); c < NumClasses; c++ {
+			if ww.classes[c].live > 0 && ww.live > vload[c] {
+				victim[c], vload[c] = i, ww.live
+				avail[c] = true
+				any = true
+			}
+		}
+	}
+	if !any {
+		return nil
+	}
+	c := s.pickClass(w, avail)
+	var it *item
+	if w.classes[c].live > 0 {
+		it = s.popClass(&w.classes[c])
+		w.live--
+	} else {
+		v := s.workers[victim[c]]
+		it = s.popClass(&v.classes[c])
+		v.live--
+		s.steals++
+	}
+	s.queued[c]--
+	it.state = itemTaken
+	s.busy++
+	s.waitSum[it.class] += s.cfg.Now().Sub(it.at)
+	s.waitCount[it.class]++
+	return it
+}
+
+// next blocks until worker idx has an item to run, or returns nil when the
+// scheduler is closed and fully drained.
+func (s *Scheduler) next(idx int) *item {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if it := s.takeLocked(idx); it != nil {
+			return it
+		}
+		if s.closed {
+			return nil
+		}
+		s.cond.Wait()
+	}
+}
+
+// tryNext is the non-blocking form of next, used by tests and benchmarks to
+// drive the queues without worker goroutines.
+func (s *Scheduler) tryNext(idx int) *item {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.takeLocked(idx)
+}
+
+// done returns a finished item to the pool.
+func (s *Scheduler) done(it *item) {
+	s.mu.Lock()
+	s.busy--
+	s.releaseLocked(it)
+	s.mu.Unlock()
+}

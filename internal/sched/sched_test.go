@@ -1,0 +1,508 @@
+package sched
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// drainPayloads pops everything worker idx can reach (own queues + steals)
+// and returns the payloads in dequeue order.
+func drainPayloads(s *Scheduler, idx int) []any {
+	var out []any
+	for {
+		it := s.tryNext(idx)
+		if it == nil {
+			return out
+		}
+		out = append(out, it.payload)
+		s.done(it)
+	}
+}
+
+// keyHomedTo fabricates a key whose home is the wanted worker index.
+func keyHomedTo(t *testing.T, want, workers int) string {
+	t.Helper()
+	for i := 0; i < 10_000; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		if Home(k, workers) == want {
+			return k
+		}
+	}
+	t.Fatalf("no key homed to worker %d of %d", want, workers)
+	return ""
+}
+
+// TestPriorityOrdering pins that a single worker serves more urgent classes
+// first: interactive before batch before background, FIFO within a class.
+func TestPriorityOrdering(t *testing.T) {
+	s := New(Config{Workers: 1})
+	submit := func(name string, c Class) {
+		if _, ok := s.Submit(name, "tenant", c, name); !ok {
+			t.Fatalf("submit %s rejected", name)
+		}
+	}
+	submit("g1", Background)
+	submit("g2", Background)
+	submit("b1", Batch)
+	submit("b2", Batch)
+	submit("i1", Interactive)
+	submit("i2", Interactive)
+
+	got := drainPayloads(s, 0)
+	want := []any{"i1", "i2", "b1", "b2", "g1", "g2"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("dequeue order = %v, want %v", got, want)
+	}
+}
+
+// TestWeightedSharesAcrossClasses pins the weighted-round-robin cycle: with
+// every class backlogged and weights {3,2,1}, each cycle serves 3
+// interactive, 2 batch and 1 background item, most urgent first.
+func TestWeightedSharesAcrossClasses(t *testing.T) {
+	s := New(Config{Workers: 1, Weights: [NumClasses]int{3, 2, 1}})
+	for i := 0; i < 6; i++ {
+		for c := Class(0); c < NumClasses; c++ {
+			if _, ok := s.Submit(fmt.Sprintf("k%d-%d", c, i), "tenant", c, c); !ok {
+				t.Fatalf("submit %v #%d rejected", c, i)
+			}
+		}
+	}
+	got := drainPayloads(s, 0)
+	want := []any{
+		// Two full weighted cycles while every class is backlogged...
+		Interactive, Interactive, Interactive, Batch, Batch, Background,
+		Interactive, Interactive, Interactive, Batch, Batch, Background,
+		// ...then interactive is empty and the leftovers drain by weight.
+		Batch, Batch, Background, Background, Background, Background,
+	}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("dequeue order = %v, want %v", got, want)
+	}
+}
+
+// TestFairShareAcrossClients pins round-robin between clients flooding one
+// class: a tenant with more queued work cannot starve a smaller one.
+func TestFairShareAcrossClients(t *testing.T) {
+	s := New(Config{Workers: 1})
+	for i := 1; i <= 4; i++ {
+		if _, ok := s.Submit(fmt.Sprintf("a%d", i), "alice", Batch, fmt.Sprintf("a%d", i)); !ok {
+			t.Fatalf("submit a%d rejected", i)
+		}
+	}
+	for i := 1; i <= 2; i++ {
+		if _, ok := s.Submit(fmt.Sprintf("b%d", i), "bob", Batch, fmt.Sprintf("b%d", i)); !ok {
+			t.Fatalf("submit b%d rejected", i)
+		}
+	}
+	got := drainPayloads(s, 0)
+	want := []any{"a1", "b1", "a2", "b2", "a3", "a4"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("dequeue order = %v, want %v", got, want)
+	}
+}
+
+// TestWorkStealingDrainsImbalance homes every item to worker 0 and verifies
+// worker 1 steals rather than idling, most urgent classes first, and that
+// the steal counter records it.
+func TestWorkStealingDrainsImbalance(t *testing.T) {
+	s := New(Config{Workers: 2})
+	key := keyHomedTo(t, 0, 2)
+	for i := 0; i < 3; i++ {
+		if _, ok := s.Submit(key, "tenant", Background, fmt.Sprintf("g%d", i)); !ok {
+			t.Fatalf("submit g%d rejected", i)
+		}
+	}
+	if _, ok := s.Submit(key, "tenant", Interactive, "i0"); !ok {
+		t.Fatal("submit i0 rejected")
+	}
+
+	it := s.tryNext(1) // worker 1 owns nothing: this must steal
+	if it == nil {
+		t.Fatal("worker 1 found nothing to steal")
+	}
+	if it.payload != "i0" {
+		t.Fatalf("steal took %v, want the most urgent item i0", it.payload)
+	}
+	if st := s.Stats(); st.Steals != 1 || st.Busy != 1 {
+		t.Fatalf("stats after steal = %+v, want Steals 1 Busy 1", st)
+	}
+	s.done(it)
+
+	rest := drainPayloads(s, 1)
+	if len(rest) != 3 {
+		t.Fatalf("worker 1 drained %d more items, want 3", len(rest))
+	}
+	if st := s.Stats(); st.Steals != 4 {
+		t.Errorf("steals = %d, want 4 (every dequeue by worker 1 was a steal)", st.Steals)
+	}
+	if q := s.Queued(); q != 0 {
+		t.Errorf("queued = %d after drain, want 0", q)
+	}
+}
+
+// TestStealOverridesLessUrgentLocalWork pins that priority is global, not
+// per-worker: a worker holding only background work steals a sibling's
+// queued interactive item instead of serving its own queue.
+func TestStealOverridesLessUrgentLocalWork(t *testing.T) {
+	s := New(Config{Workers: 2})
+	k0 := keyHomedTo(t, 0, 2)
+	k1 := keyHomedTo(t, 1, 2)
+	if _, ok := s.Submit(k0, "tenant", Background, "local-bg"); !ok {
+		t.Fatal("submit local-bg rejected")
+	}
+	if _, ok := s.Submit(k1, "tenant", Interactive, "remote-i"); !ok {
+		t.Fatal("submit remote-i rejected")
+	}
+	it := s.tryNext(0)
+	if it.payload != "remote-i" {
+		t.Fatalf("worker 0 dequeued %v, want the sibling's interactive item", it.payload)
+	}
+	if st := s.Stats(); st.Steals != 1 {
+		t.Fatalf("steals = %d, want 1", st.Steals)
+	}
+	s.done(it)
+	it = s.tryNext(0)
+	if it.payload != "local-bg" {
+		t.Fatalf("worker 0 then dequeued %v, want its own background item", it.payload)
+	}
+	s.done(it)
+}
+
+// TestNoIdleWorkerWhileQueued is the live integration check: items homed to
+// one worker keep every started worker busy via stealing.
+func TestNoIdleWorkerWhileQueued(t *testing.T) {
+	s := New(Config{Workers: 2})
+	started := make(chan any, 8)
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(4)
+	s.Start(func(p any) {
+		defer wg.Done()
+		started <- p
+		<-release
+	})
+
+	key := keyHomedTo(t, 0, 2)
+	for i := 0; i < 4; i++ {
+		if _, ok := s.Submit(key, "tenant", Batch, i); !ok {
+			t.Fatalf("submit %d rejected", i)
+		}
+	}
+	// Both workers must pick up work even though all of it is homed to
+	// worker 0.
+	<-started
+	<-started
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := s.Stats()
+		if st.Busy == 2 {
+			if st.Queued[Batch] != 2 {
+				t.Fatalf("queued[batch] = %d with both workers busy, want 2", st.Queued[Batch])
+			}
+			if st.Steals < 1 {
+				t.Fatalf("steals = %d with both workers busy on one-homed load, want >= 1", st.Steals)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("workers never both busy: %+v", st)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+	s.Close()
+	if st := s.Stats(); st.Busy != 0 || st.Queued[Batch] != 0 {
+		t.Fatalf("stats after drain = %+v, want idle and empty", st)
+	}
+	if n := len(started); n != 2 {
+		t.Fatalf("%d extra starts buffered, want 2 (4 items total)", n)
+	}
+}
+
+// TestCancelFreesCapacityImmediately is the slot-leak regression at the
+// scheduler level: fill a class, cancel everything, and the next submission
+// must be accepted with no dequeue in between.
+func TestCancelFreesCapacityImmediately(t *testing.T) {
+	s := New(Config{Workers: 1, Depth: [NumClasses]int{4, 2, 4}})
+	var handles []Handle
+	for i := 0; i < 2; i++ {
+		h, ok := s.Submit(fmt.Sprintf("k%d", i), "tenant", Batch, i)
+		if !ok {
+			t.Fatalf("submit %d rejected", i)
+		}
+		handles = append(handles, h)
+	}
+	if _, ok := s.Submit("k-over", "tenant", Batch, 99); ok {
+		t.Fatal("submit beyond depth accepted")
+	}
+	for i, h := range handles {
+		if !s.Cancel(h) {
+			t.Fatalf("cancel %d reported false", i)
+		}
+	}
+	if q := s.Queued(); q != 0 {
+		t.Fatalf("queued = %d after cancelling all, want 0", q)
+	}
+	// Capacity is free NOW — no worker ever popped anything.
+	for i := 0; i < 2; i++ {
+		if _, ok := s.Submit(fmt.Sprintf("n%d", i), "tenant", Batch, i); !ok {
+			t.Fatalf("post-cancel submit %d rejected: slot leaked", i)
+		}
+	}
+	// The cancelled items were really removed: only live items dequeue.
+	got := drainPayloads(s, 0)
+	if fmt.Sprint(got) != fmt.Sprint([]any{0, 1}) {
+		t.Fatalf("drained %v, want the two fresh items", got)
+	}
+}
+
+// TestStealDoesNotStarveLowerClasses pins the multi-worker no-starvation
+// guarantee: a worker facing a sustained remote interactive backlog still
+// serves its local background item once its interactive credits are spent —
+// stolen work pays credits exactly like home work.
+func TestStealDoesNotStarveLowerClasses(t *testing.T) {
+	s := New(Config{Workers: 2, Weights: [NumClasses]int{2, 1, 1}, Depth: [NumClasses]int{64, 64, 64}})
+	k0 := keyHomedTo(t, 0, 2)
+	k1 := keyHomedTo(t, 1, 2)
+	if _, ok := s.Submit(k0, "tenant", Background, "bg"); !ok {
+		t.Fatal("submit bg rejected")
+	}
+	for i := 0; i < 10; i++ {
+		if _, ok := s.Submit(k1, "flood", Interactive, fmt.Sprintf("i%d", i)); !ok {
+			t.Fatalf("submit i%d rejected", i)
+		}
+	}
+	// Worker 0 drains alone: it steals interactive work from worker 1, but
+	// after spending its 2 interactive credits the background item is due.
+	var got []any
+	for j := 0; j < 3; j++ {
+		it := s.tryNext(0)
+		got = append(got, it.payload)
+		s.done(it)
+	}
+	want := []any{"i0", "i1", "bg"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("dequeue order = %v, want %v (background must not starve)", got, want)
+	}
+}
+
+// TestDrainedClientsLeaveNoTrace pins that client labels — arbitrary wire
+// input — do not accumulate state: once a client's FIFO drains (by dequeue
+// or by cancellation), its map entry is gone and the struct is recycled.
+func TestDrainedClientsLeaveNoTrace(t *testing.T) {
+	s := New(Config{Workers: 1, Depth: [NumClasses]int{4096, 4096, 4096}})
+	for i := 0; i < 1000; i++ {
+		h, ok := s.Submit("k", fmt.Sprintf("client-%d", i), Batch, i)
+		if !ok {
+			t.Fatalf("submit %d rejected", i)
+		}
+		if i%2 == 0 {
+			if !s.Cancel(h) {
+				t.Fatalf("cancel %d failed", i)
+			}
+		}
+	}
+	for {
+		it := s.tryNext(0)
+		if it == nil {
+			break
+		}
+		s.done(it)
+	}
+	cq := &s.workers[0].classes[Batch]
+	if n := len(cq.clients); n != 0 {
+		t.Fatalf("%d drained client queues still mapped, want 0", n)
+	}
+	if n := len(cq.ring); n != 0 {
+		t.Fatalf("%d drained client queues still in ring, want 0", n)
+	}
+	// Recycled structs serve new clients.
+	if _, ok := s.Submit("k", "fresh", Batch, "x"); !ok {
+		t.Fatal("post-drain submit rejected")
+	}
+	if got := drainPayloads(s, 0); fmt.Sprint(got) != fmt.Sprint([]any{"x"}) {
+		t.Fatalf("drained %v, want [x]", got)
+	}
+}
+
+// TestCancelStaleHandle pins handle invalidation: cancelling twice, or
+// cancelling a dequeued item, reports false and touches nothing.
+func TestCancelStaleHandle(t *testing.T) {
+	s := New(Config{Workers: 1})
+	h, ok := s.Submit("k", "tenant", Batch, "x")
+	if !ok {
+		t.Fatal("submit rejected")
+	}
+	if !s.Cancel(h) {
+		t.Fatal("first cancel reported false")
+	}
+	if s.Cancel(h) {
+		t.Fatal("second cancel succeeded on a stale handle")
+	}
+	h2, _ := s.Submit("k2", "tenant", Batch, "y")
+	it := s.tryNext(0)
+	if it == nil || it.payload != "y" {
+		t.Fatalf("dequeued %v, want y", it)
+	}
+	if s.Cancel(h2) {
+		t.Fatal("cancel succeeded on a running item")
+	}
+	s.done(it)
+	if s.Cancel(h2) {
+		t.Fatal("cancel succeeded on a finished (recycled) item")
+	}
+}
+
+// TestPromote pins class moves: a promoted item dequeues with its new class
+// and the handle returned by Promote stays cancellable.
+func TestPromote(t *testing.T) {
+	s := New(Config{Workers: 1})
+	if _, ok := s.Submit("a", "tenant", Background, "a"); !ok {
+		t.Fatal("submit a rejected")
+	}
+	hb, ok := s.Submit("b", "tenant", Background, "b")
+	if !ok {
+		t.Fatal("submit b rejected")
+	}
+	hb2, ok := s.Promote(hb, Interactive)
+	if !ok {
+		t.Fatal("promote reported false")
+	}
+	if st := s.Stats(); st.Queued[Interactive] != 1 || st.Queued[Background] != 1 {
+		t.Fatalf("queued after promote = %v", st.Queued)
+	}
+	it := s.tryNext(0)
+	if it.payload != "b" {
+		t.Fatalf("dequeued %v first, want the promoted b", it.payload)
+	}
+	s.done(it)
+	if _, ok := s.Promote(hb2, Background); ok {
+		t.Fatal("promote succeeded on a finished item")
+	}
+	if got := drainPayloads(s, 0); fmt.Sprint(got) != fmt.Sprint([]any{"a"}) {
+		t.Fatalf("remaining = %v, want [a]", got)
+	}
+}
+
+// TestPromoteRespectsDepth pins the DoS guard: promotion into a full class
+// is declined (leaving the item queued at its original class), so repeated
+// submit-then-promote cycles cannot grow a class beyond its bound.
+func TestPromoteRespectsDepth(t *testing.T) {
+	s := New(Config{Workers: 1, Depth: [NumClasses]int{1, 4, 4}})
+	if _, ok := s.Submit("i", "tenant", Interactive, "i"); !ok {
+		t.Fatal("interactive fill rejected")
+	}
+	hg, ok := s.Submit("g", "tenant", Background, "g")
+	if !ok {
+		t.Fatal("background submit rejected")
+	}
+	if _, ok := s.Promote(hg, Interactive); ok {
+		t.Fatal("promotion into a full class succeeded")
+	}
+	if st := s.Stats(); st.Queued[Interactive] != 1 || st.Queued[Background] != 1 {
+		t.Fatalf("queued after declined promotion = %v, want [1 0 1]", st.Queued)
+	}
+	// The handle stays valid: once capacity exists, the promotion works.
+	it := s.tryNext(0) // dequeues the interactive item
+	s.done(it)
+	hg2, ok := s.Promote(hg, Interactive)
+	if !ok {
+		t.Fatal("promotion with capacity free reported false")
+	}
+	if !s.Cancel(hg2) {
+		t.Fatal("promoted handle not cancellable")
+	}
+}
+
+// TestPromoteWaitAttribution pins the latency accounting across a
+// promotion: wait accrued in the original class is charged there, and the
+// new class only sees post-promotion wait.
+func TestPromoteWaitAttribution(t *testing.T) {
+	now := time.Unix(0, 0)
+	s := New(Config{Workers: 1, Now: func() time.Time { return now }})
+	h, ok := s.Submit("k", "tenant", Background, "x")
+	if !ok {
+		t.Fatal("submit rejected")
+	}
+	now = now.Add(10 * time.Second)
+	if _, ok := s.Promote(h, Interactive); !ok {
+		t.Fatal("promote failed")
+	}
+	now = now.Add(1 * time.Second)
+	it := s.tryNext(0)
+	s.done(it)
+	st := s.Stats()
+	if st.WaitSum[Background] != 10*time.Second || st.WaitCount[Background] != 0 {
+		t.Fatalf("background wait = %v/%d, want 10s/0 (pre-promotion time)", st.WaitSum[Background], st.WaitCount[Background])
+	}
+	if st.WaitSum[Interactive] != 1*time.Second || st.WaitCount[Interactive] != 1 {
+		t.Fatalf("interactive wait = %v/%d, want 1s/1 (post-promotion only)", st.WaitSum[Interactive], st.WaitCount[Interactive])
+	}
+}
+
+// TestCloseDrainsQueued verifies Close lets workers finish everything queued
+// before returning, and that submissions after Close are rejected.
+func TestCloseDrainsQueued(t *testing.T) {
+	s := New(Config{Workers: 1})
+	var mu sync.Mutex
+	var ran []any
+	gate := make(chan struct{})
+	s.Start(func(p any) {
+		<-gate
+		mu.Lock()
+		ran = append(ran, p)
+		mu.Unlock()
+	})
+	for i := 0; i < 3; i++ {
+		if _, ok := s.Submit(fmt.Sprintf("k%d", i), "tenant", Batch, i); !ok {
+			t.Fatalf("submit %d rejected", i)
+		}
+	}
+	close(gate)
+	s.Close()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(ran) != 3 {
+		t.Fatalf("Close returned with %d of 3 items run", len(ran))
+	}
+	if _, ok := s.Submit("late", "tenant", Batch, 9); ok {
+		t.Fatal("submit after Close accepted")
+	}
+}
+
+// TestWaitLatencyAccounting verifies the scheduling-latency counters using
+// an injected clock.
+func TestWaitLatencyAccounting(t *testing.T) {
+	now := time.Unix(0, 0)
+	s := New(Config{Workers: 1, Now: func() time.Time { return now }})
+	if _, ok := s.Submit("k", "tenant", Interactive, "x"); !ok {
+		t.Fatal("submit rejected")
+	}
+	now = now.Add(250 * time.Millisecond)
+	it := s.tryNext(0)
+	s.done(it)
+	st := s.Stats()
+	if st.WaitCount[Interactive] != 1 || st.WaitSum[Interactive] != 250*time.Millisecond {
+		t.Fatalf("wait accounting = count %v sum %v, want 1 / 250ms",
+			st.WaitCount[Interactive], st.WaitSum[Interactive])
+	}
+}
+
+// TestParseClass pins the wire labels.
+func TestParseClass(t *testing.T) {
+	for _, c := range []Class{Interactive, Batch, Background} {
+		got, err := ParseClass(c.String())
+		if err != nil || got != c {
+			t.Errorf("ParseClass(%q) = %v, %v", c.String(), got, err)
+		}
+	}
+	if _, err := ParseClass("turbo"); err == nil {
+		t.Error("ParseClass(turbo) succeeded")
+	}
+	if _, err := ParseClass(""); err == nil {
+		t.Error("ParseClass of empty string succeeded (callers pick defaults)")
+	}
+}

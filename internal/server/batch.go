@@ -1,0 +1,422 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"time"
+
+	"refrint"
+	"refrint/internal/sched"
+	"refrint/internal/sweep"
+)
+
+// Batch groups the jobs of one atomic multi-sweep submission behind a single
+// handle.  Live members are held as Job pointers so aggregation keeps
+// working even after individual jobs age out of the pollable history; a
+// member that reaches a terminal state is frozen into its JobView and the
+// pointer dropped, so batches never pin result-bearing entries beyond the
+// caches' own bounds.  The server mutex guards all of it.
+type Batch struct {
+	id        string
+	class     sched.Class
+	client    string
+	members   []batchMember
+	createdAt time.Time
+}
+
+// batchMember is one job of a batch: live (job != nil) or frozen (view).
+type batchMember struct {
+	job  *Job
+	view JobView
+}
+
+// memberView returns the member's current view, freezing it on the first
+// sight of a terminal state.  Caller holds the server mutex.
+func (m *batchMember) memberView() JobView {
+	if m.job != nil {
+		v := m.job.snapshot()
+		if !v.State.Terminal() {
+			return v
+		}
+		m.view = v
+		m.job = nil
+	}
+	return m.view
+}
+
+// BatchRequest is the JSON body of POST /v1/batches: N sweep requests
+// submitted atomically — either every request is admitted (cache hits,
+// attaches and fresh executions alike) or none is.
+type BatchRequest struct {
+	// Priority is the default scheduling class of the batch's requests
+	// ("batch" when empty); a request's own priority field overrides it.
+	Priority string `json:"priority,omitempty"`
+	// Client labels the submitting tenant for fair-share scheduling; a
+	// request's own client field overrides it.
+	Client string `json:"client,omitempty"`
+	// Requests are the sweeps to submit.
+	Requests []refrint.SweepRequest `json:"requests"`
+}
+
+// BatchView is the aggregated JSON form of a batch.
+type BatchView struct {
+	ID string `json:"id"`
+	// State aggregates the member jobs: queued until any starts, running
+	// while any is live, and once all are terminal: failed if any failed,
+	// else cancelled if any was cancelled, else done.
+	State    State  `json:"state"`
+	Priority string `json:"priority"`
+	Client   string `json:"client,omitempty"`
+	// Counts tallies member jobs by lifecycle state.
+	Counts map[string]int `json:"counts"`
+	// Progress sums simulation progress across member jobs.
+	Progress  ProgressView `json:"progress"`
+	Jobs      []JobView    `json:"jobs"`
+	CreatedAt time.Time    `json:"created_at"`
+}
+
+// snapshot renders the batch for the API.  Caller holds the server mutex.
+func (b *Batch) snapshot() BatchView {
+	v := BatchView{
+		ID:        b.id,
+		Priority:  b.class.String(),
+		Client:    b.client,
+		Counts:    make(map[string]int, 5),
+		CreatedAt: b.createdAt,
+	}
+	done, total := 0, 0
+	allTerminal := true
+	var anyFailed, anyCancelled, anyStarted bool
+	for i := range b.members {
+		jv := b.members[i].memberView()
+		v.Jobs = append(v.Jobs, jv)
+		v.Counts[string(jv.State)]++
+		done += jv.Progress.Done
+		total += jv.Progress.Total
+		switch jv.State {
+		case StateFailed:
+			anyFailed = true
+		case StateCancelled:
+			anyCancelled = true
+		}
+		if !jv.State.Terminal() {
+			allTerminal = false
+		}
+		// Cancelled members don't count as started: a queued job can be
+		// cancelled without a single simulation having run.
+		if jv.State == StateRunning || jv.State == StateDone || jv.State == StateFailed {
+			anyStarted = true
+		}
+	}
+	switch {
+	case allTerminal && anyFailed:
+		v.State = StateFailed
+	case allTerminal && anyCancelled:
+		v.State = StateCancelled
+	case allTerminal:
+		v.State = StateDone
+	case anyStarted:
+		v.State = StateRunning
+	default:
+		v.State = StateQueued
+	}
+	v.Progress = progressView(done, total, v.State)
+	return v
+}
+
+// handleSubmitBatch implements POST /v1/batches.  Admission is atomic: every
+// request is validated and the scheduler capacity for all fresh executions
+// is checked before any job is created, so a batch either lands whole or
+// leaves no trace (no half-admitted campaigns to clean up).
+func (s *Server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
+	var breq BatchRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&breq); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid request body: %v", err)
+		return
+	}
+	if len(breq.Requests) == 0 {
+		writeError(w, http.StatusBadRequest, "batch needs at least one request")
+		return
+	}
+	defClass, err := classFor(breq.Priority, sched.Batch)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	type planned struct {
+		req   refrint.SweepRequest
+		opts  sweep.Options
+		key   string
+		class sched.Class
+	}
+	plan := make([]planned, 0, len(breq.Requests))
+	for i, sub := range breq.Requests {
+		if sub.Client == "" {
+			sub.Client = breq.Client
+		}
+		class, err := classFor(sub.Priority, defClass)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "requests[%d]: %v", i, err)
+			return
+		}
+		opts, err := sub.Options()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "requests[%d]: %v", i, err)
+			return
+		}
+		if s.cfg.SweepWorkers > 0 && opts.Workers > s.cfg.SweepWorkers {
+			opts.Workers = s.cfg.SweepWorkers
+		}
+		plan = append(plan, planned{req: sub, opts: opts, key: opts.Key(), class: class})
+	}
+	// Prime from the persistent store outside the lock, like handleSubmit:
+	// persisted sweeps must not consume queue capacity.  The results are
+	// kept by key rather than relying on the cache still holding them — a
+	// batch with more persisted keys than the cache capacity would
+	// otherwise LRU-evict its own earlier revivals before they are used —
+	// and re-installed right before the member job that needs them.
+	revived := make(map[string]*refrint.SweepResults, len(plan))
+	for _, p := range plan {
+		if _, ok := revived[p.key]; ok {
+			continue
+		}
+		if res, ok := s.reviveStoredSweep(p.key); ok {
+			revived[p.key] = res
+		}
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	}
+	// Plan the batch's scheduler effects and check capacity for all of
+	// them at once.  Identical keys within the batch share one execution
+	// (singleflight) and count once, at the most urgent class among their
+	// occurrences — the class the shared execution ends up in, and the
+	// class submitJobLocked creates it at.  Attaching to a pre-existing
+	// queued execution that the batch will promote consumes a slot in the
+	// target class and frees one in the class it leaves; the freed slot is
+	// credited, and promotions are applied up front (most urgent target
+	// first) so everything they free is free before any member submits.
+	// All submissions are serialized under s.mu, and dequeues only ever
+	// free capacity, so check-then-apply cannot be raced into a partial
+	// admission.
+	effClass := make(map[string]sched.Class, len(plan))
+	for _, p := range plan {
+		if c, ok := effClass[p.key]; !ok || p.class < c {
+			effClass[p.key] = p.class
+		}
+	}
+	type promotion struct {
+		e  *entry
+		to sched.Class
+	}
+	var promos []promotion
+	var need, freed [sched.NumClasses]int
+	counted := make(map[string]bool, len(plan))
+	for _, p := range plan {
+		if counted[p.key] {
+			continue
+		}
+		counted[p.key] = true
+		if e, hit := s.cache.lookup(p.key); hit {
+			// StillQueued filters the race where a worker already popped
+			// the item (Promote would no-op, consuming nothing).
+			if e.state == StateQueued && effClass[p.key] < e.class && s.sched.StillQueued(e.handle) {
+				promos = append(promos, promotion{e: e, to: effClass[p.key]})
+				need[effClass[p.key]]++
+				freed[e.class]++
+			}
+			continue
+		}
+		if revived[p.key] != nil {
+			continue
+		}
+		need[effClass[p.key]]++
+	}
+	for class, n := range need {
+		// Skip classes the batch does not touch: a full class must not
+		// veto batches that need nothing from it.
+		if n == 0 {
+			continue
+		}
+		if free := s.sched.Free(sched.Class(class)) + freed[class]; n > free {
+			s.mu.Unlock()
+			writeError(w, http.StatusServiceUnavailable,
+				"%s queue has %d free slots, batch needs %d; retry later",
+				sched.Class(class), free, n)
+			return
+		}
+	}
+	// Promotions ordered by target class, most urgent first: a promotion's
+	// departure from class c targets a class more urgent than c, so every
+	// departure from c executes before any arrival into c, and the credits
+	// above are honored without transient overflow.
+	sort.SliceStable(promos, func(i, j int) bool { return promos[i].to < promos[j].to })
+	for _, pr := range promos {
+		s.moveEntryLocked(pr.e, pr.to)
+	}
+
+	s.nextBatchID++
+	b := &Batch{
+		id:        fmt.Sprintf("batch-%06d", s.nextBatchID),
+		class:     defClass,
+		client:    breq.Client,
+		createdAt: time.Now(),
+	}
+	for _, p := range plan {
+		// Re-install a revived result the cache may have evicted since (or
+		// during) the revive loop, so this member is served as a hit.
+		if res := revived[p.key]; res != nil {
+			if _, hit := s.cache.lookup(p.key); !hit {
+				s.installDoneEntryLocked(p.key, res)
+			}
+		}
+		job, ok := s.submitJobLocked(p.req, p.opts, p.key, p.class, effClass[p.key])
+		if !ok {
+			// Unreachable while all submissions stay serialized under s.mu
+			// (the capacity was just checked); bail out whole rather than
+			// admit a partial batch.
+			s.cfg.Logf("batch: invariant violation: %s queue overflowed after capacity check", effClass[p.key])
+			aborts := s.rollbackBatchLocked(b)
+			s.mu.Unlock()
+			for _, e := range aborts {
+				e.cancel()
+			}
+			writeError(w, http.StatusServiceUnavailable, "%s queue is full, retry later", p.class)
+			return
+		}
+		b.members = append(b.members, batchMember{job: job})
+	}
+	s.batches[b.id] = b
+	s.batchOrder = append(s.batchOrder, b.id)
+	s.evictBatchesLocked()
+	view := b.snapshot()
+	s.mu.Unlock()
+	s.cfg.Logf("batch %s: %d jobs (%s)", b.id, len(view.Jobs), view.Priority)
+
+	status := http.StatusAccepted
+	if view.State == StateDone {
+		status = http.StatusOK // every member was a cache hit
+	}
+	w.Header().Set("Location", "/v1/batches/"+view.ID)
+	writeJSON(w, status, view)
+}
+
+// handleGetBatch implements GET /v1/batches/{id}: aggregated poll.
+func (s *Server) handleGetBatch(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	b, ok := s.batches[id]
+	if !ok {
+		s.mu.Unlock()
+		writeError(w, http.StatusNotFound, "no batch %q", id)
+		return
+	}
+	view := b.snapshot()
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, view)
+}
+
+// handleCancelBatch implements DELETE /v1/batches/{id}: cancel every
+// non-terminal member job.  Queued executions leave the scheduler (and free
+// their queue slots) immediately; running ones are aborted via context.
+func (s *Server) handleCancelBatch(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	b, ok := s.batches[id]
+	if !ok {
+		s.mu.Unlock()
+		writeError(w, http.StatusNotFound, "no batch %q", id)
+		return
+	}
+	var aborts []*entry
+	for i := range b.members {
+		if j := b.members[i].job; j != nil {
+			if e := s.cancelJobLocked(j); e != nil {
+				aborts = append(aborts, e)
+			}
+		}
+	}
+	view := b.snapshot()
+	s.mu.Unlock()
+	for _, e := range aborts {
+		e.cancel()
+		s.cfg.Logf("sweep %s: cancel requested", e.key)
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+// rollbackBatchLocked undoes a partially admitted batch: every member
+// created so far is cancelled and erased from the pollable job history, so
+// a failed batch leaves no trace.  It returns the entries whose contexts
+// must be cancelled outside the lock.  Caller holds the server mutex.
+func (s *Server) rollbackBatchLocked(b *Batch) []*entry {
+	var aborts []*entry
+	doomed := make(map[string]bool, len(b.members))
+	for i := range b.members {
+		j := b.members[i].job
+		if j == nil {
+			continue // frozen members are terminal and already historical
+		}
+		if e := s.cancelJobLocked(j); e != nil {
+			aborts = append(aborts, e)
+		}
+		doomed[j.id] = true
+		delete(s.jobs, j.id)
+	}
+	kept := s.jobOrder[:0]
+	for _, id := range s.jobOrder {
+		if !doomed[id] {
+			kept = append(kept, id)
+		}
+	}
+	s.jobOrder = kept
+	b.members = nil
+	return aborts
+}
+
+// evictBatchesLocked freezes every terminal member — batches must not pin
+// result-bearing entries past the caches' own bounds even when nobody polls
+// them, so freezing runs on every batch submission, not only under history
+// pressure — then forgets the oldest terminal batches beyond the history
+// bound.  Live batches are never evicted.  Caller holds the server mutex.
+func (s *Server) evictBatchesLocked() {
+	terminal := make(map[string]bool, len(s.batchOrder))
+	for _, id := range s.batchOrder {
+		b := s.batches[id]
+		done := true
+		for i := range b.members {
+			m := &b.members[i]
+			if m.job != nil && m.job.state.Terminal() {
+				m.view = m.job.snapshot()
+				m.job = nil
+			}
+			if m.job != nil {
+				done = false
+			}
+		}
+		terminal[id] = done
+	}
+	excess := len(s.batchOrder) - s.cfg.BatchHistory
+	if excess <= 0 {
+		return
+	}
+	kept := s.batchOrder[:0]
+	for _, id := range s.batchOrder {
+		if excess > 0 && terminal[id] {
+			delete(s.batches, id)
+			excess--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.batchOrder = kept
+}

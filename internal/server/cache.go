@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"refrint"
+	"refrint/internal/sched"
 	"refrint/internal/sweep"
 )
 
@@ -16,6 +17,12 @@ type entry struct {
 	opts   sweep.Options
 	ctx    context.Context
 	cancel context.CancelFunc
+
+	// class is the effective scheduling class (jobs attaching with a more
+	// urgent class promote the queued entry); handle cancels or promotes
+	// the entry while it is still queued (stale once running).
+	class  sched.Class
+	handle sched.Handle
 
 	state State // queued → running → done | failed | cancelled
 	done  int   // simulations completed

@@ -1,8 +1,15 @@
 // Package server turns the Refrint sweep harness into a long-running
-// service: an HTTP API over a bounded job queue, a sharded worker pool that
-// executes sweeps via sweep.ExecuteContext, and a keyed result cache that
-// deduplicates identical submissions (singleflight), so any number of
-// clients asking for the same sweep cost one simulation run.
+// service: an HTTP API over a bounded priority-aware scheduler (see
+// internal/sched) that executes sweeps via sweep.ExecuteContext, and a keyed
+// result cache that deduplicates identical submissions (singleflight), so
+// any number of clients asking for the same sweep cost one simulation run.
+//
+// Submissions carry an optional priority class — interactive (the default
+// for POST /v1/sweeps) > batch (the default inside POST /v1/batches) >
+// background — and an optional client label for fair-share dequeue between
+// tenants.  Workers steal across queues, so no worker idles while any queue
+// holds work, and cancelling a queued job frees its bounded queue slot
+// immediately.
 //
 // Job lifecycle:
 //
@@ -25,6 +32,7 @@ import (
 	"time"
 
 	"refrint"
+	"refrint/internal/sched"
 )
 
 // State is the lifecycle state of a job.
@@ -50,7 +58,8 @@ type Job struct {
 	id      string
 	key     string
 	request refrint.SweepRequest
-	entry   *entry // the shared execution this job is attached to
+	class   sched.Class // the priority class this job was submitted with
+	entry   *entry      // the shared execution this job is attached to
 
 	state     State
 	cacheHit  bool // completed from an already-cached result
@@ -65,8 +74,24 @@ type ProgressView struct {
 	// Done and Total count simulations within the sweep.
 	Done  int `json:"done"`
 	Total int `json:"total"`
-	// Percent is 100*Done/Total, rounded down.
+	// Percent is 100*Done/Total, rounded down — and clamped to 99 unless
+	// the job is done: a sweep's last progress callback fires before export
+	// and persistence finish (and a cancelled or failed job may have
+	// finished all its simulations), so 100 always means "done".
 	Percent int `json:"percent"`
+}
+
+// progressView renders simulation progress for a job or batch in state st,
+// clamping Percent to 99 unless st is done: 100 always means done.
+func progressView(done, total int, st State) ProgressView {
+	v := ProgressView{Done: done, Total: total}
+	if total > 0 {
+		v.Percent = 100 * done / total
+		if v.Percent >= 100 && st != StateDone {
+			v.Percent = 99
+		}
+	}
+	return v
 }
 
 // JobView is the JSON form of a job returned by the API.
@@ -74,6 +99,7 @@ type JobView struct {
 	ID       string               `json:"id"`
 	Key      string               `json:"key"`
 	State    State                `json:"state"`
+	Priority string               `json:"priority"`
 	CacheHit bool                 `json:"cache_hit"`
 	Progress ProgressView         `json:"progress"`
 	Error    string               `json:"error,omitempty"`
@@ -90,6 +116,7 @@ func (j *Job) snapshot() JobView {
 		ID:        j.id,
 		Key:       j.key,
 		State:     j.state,
+		Priority:  j.class.String(),
 		CacheHit:  j.cacheHit,
 		Request:   j.request,
 		CreatedAt: j.createdAt,
@@ -99,10 +126,7 @@ func (j *Job) snapshot() JobView {
 		if j.state == StateDone {
 			done = total
 		}
-		v.Progress = ProgressView{Done: done, Total: total}
-		if total > 0 {
-			v.Progress.Percent = 100 * done / total
-		}
+		v.Progress = progressView(done, total, j.state)
 	}
 	if j.err != nil {
 		v.Error = j.err.Error()

@@ -5,6 +5,8 @@ import (
 	"net/http"
 	"strings"
 	"time"
+
+	"refrint/internal/sched"
 )
 
 // handleMetrics implements GET /metrics: a plain-text, Prometheus-style
@@ -16,7 +18,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	for _, j := range s.jobs {
 		byState[j.state]++
 	}
-	queued := s.pool.queued()
+	sst := s.sched.Stats()
+	queued := 0
+	for _, q := range sst.Queued {
+		queued += q
+	}
+	batches := len(s.batches)
 	cached, inflight := s.cache.stats()
 	sweepHits, sweepMisses := s.sweepCacheHits, s.sweepCacheMisses
 	sims := s.simsCompleted
@@ -32,7 +39,24 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %v\n", name, help, name, name, value)
 	}
 
-	gauge("refrint_queue_depth", "Sweep executions waiting in worker queues.", queued)
+	gauge("refrint_queue_depth", "Sweep executions waiting in scheduler queues (all classes).", queued)
+
+	fmt.Fprintf(&b, "# HELP refrint_sched_queue_depth Sweep executions waiting, by priority class.\n# TYPE refrint_sched_queue_depth gauge\n")
+	for c := sched.Class(0); c < sched.NumClasses; c++ {
+		fmt.Fprintf(&b, "refrint_sched_queue_depth{class=%q} %d\n", c.String(), sst.Queued[c])
+	}
+	counter("refrint_sched_steals_total", "Dequeues where an idle worker took work homed to a sibling.", sst.Steals)
+	fmt.Fprintf(&b, "# HELP refrint_sched_wait_seconds_sum Cumulative submit-to-dequeue latency, by priority class.\n# TYPE refrint_sched_wait_seconds_sum counter\n")
+	for c := sched.Class(0); c < sched.NumClasses; c++ {
+		fmt.Fprintf(&b, "refrint_sched_wait_seconds_sum{class=%q} %.6f\n", c.String(), sst.WaitSum[c].Seconds())
+	}
+	fmt.Fprintf(&b, "# HELP refrint_sched_wait_seconds_count Dequeues observed by the latency sum, by priority class.\n# TYPE refrint_sched_wait_seconds_count counter\n")
+	for c := sched.Class(0); c < sched.NumClasses; c++ {
+		fmt.Fprintf(&b, "refrint_sched_wait_seconds_count{class=%q} %d\n", c.String(), sst.WaitCount[c])
+	}
+	gauge("refrint_sched_workers", "Worker goroutines executing sweeps.", sst.Workers)
+	gauge("refrint_sched_busy_workers", "Workers currently running a sweep.", sst.Busy)
+	gauge("refrint_batches", "Batches currently pollable.", batches)
 
 	fmt.Fprintf(&b, "# HELP refrint_jobs Jobs by lifecycle state.\n# TYPE refrint_jobs gauge\n")
 	for _, st := range []State{StateQueued, StateRunning, StateDone, StateFailed, StateCancelled} {

@@ -1,0 +1,408 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"testing"
+	"time"
+
+	"refrint"
+	"refrint/internal/sched"
+	"refrint/internal/sweep"
+)
+
+// schedMetric fetches /metrics and extracts one sample (mustKey, getText and
+// metricValue live in persist_test.go).
+func (h *harness) schedMetric(name string) float64 {
+	h.t.Helper()
+	text, status := h.getText("/metrics")
+	if status != http.StatusOK {
+		h.t.Fatalf("GET /metrics: status %d", status)
+	}
+	return metricValue(h.t, text, name)
+}
+
+// TestCancelWhileQueuedFreesSlot is the regression for the queue-slot leak:
+// cancelled-but-queued jobs used to keep occupying their bounded shard
+// channel until a worker popped them, turning an idle server into a 503
+// generator.  Now cancel frees the slot immediately.
+func TestCancelWhileQueuedFreesSlot(t *testing.T) {
+	exec := newBlockingExec()
+	h := newHarness(t, Config{Shards: 1, QueueDepth: 2, Execute: exec.fn})
+
+	running, _ := h.submit(tinyRequest(1))
+	<-exec.started // seed 1 occupies the only worker
+
+	queued := make([]JobView, 0, 2)
+	for seed := int64(2); seed <= 3; seed++ {
+		view, status := h.submit(tinyRequest(seed))
+		if status != http.StatusAccepted {
+			t.Fatalf("seed %d: status %d, want 202", seed, status)
+		}
+		queued = append(queued, view)
+	}
+	if _, status := h.submit(tinyRequest(4)); status != http.StatusServiceUnavailable {
+		t.Fatalf("submit into a full queue: status %d, want 503", status)
+	}
+
+	// Cancel everything queued.  No worker pops anything (the only worker
+	// is still blocked), so acceptance below proves cancel itself freed the
+	// slots.
+	for _, view := range queued {
+		var cancelled JobView
+		h.do("DELETE", "/v1/sweeps/"+view.ID, nil, &cancelled)
+		if cancelled.State != StateCancelled {
+			t.Fatalf("job %s state = %q after cancel", view.ID, cancelled.State)
+		}
+	}
+	var hz struct {
+		Queued int `json:"queued"`
+	}
+	h.do("GET", "/healthz", nil, &hz)
+	if hz.Queued != 0 {
+		t.Fatalf("healthz queued = %d after cancelling all queued jobs, want 0", hz.Queued)
+	}
+
+	view, status := h.submit(tinyRequest(4))
+	if status != http.StatusAccepted {
+		t.Fatalf("submit after cancel-all: status %d, want 202 (queue slot leaked)", status)
+	}
+
+	close(exec.release)
+	h.waitState(running.ID, StateDone)
+	h.waitState(view.ID, StateDone)
+	// The cancelled sweeps never ran: only seeds 1 and 4 reached the
+	// executor.
+	if n := exec.calls.Load(); n != 2 {
+		t.Fatalf("executor ran %d sweeps, want 2 (cancelled queued sweeps must not run)", n)
+	}
+}
+
+// TestInteractiveBeatsQueuedBackground pins the priority acceptance
+// criterion: with background work already queued, an interactive submission
+// starts first.
+func TestInteractiveBeatsQueuedBackground(t *testing.T) {
+	exec := newBlockingExec()
+	h := newHarness(t, Config{Shards: 1, Execute: exec.fn})
+
+	dummy := tinyRequest(10)
+	dummy.Priority = "background"
+	h.submit(dummy)
+	<-exec.started // worker blocked on the dummy
+
+	var bgKeys []string
+	for seed := int64(11); seed <= 12; seed++ {
+		req := tinyRequest(seed)
+		req.Priority = "background"
+		req.Client = "hog"
+		h.submit(req)
+		bgKeys = append(bgKeys, mustKey(t, req))
+	}
+	inter := tinyRequest(13)
+	inter.Priority = "interactive"
+	h.submit(inter)
+
+	wantOrder := append([]string{mustKey(t, inter)}, bgKeys...)
+	for i, want := range wantOrder {
+		exec.release <- struct{}{} // finish the currently running sweep
+		if got := <-exec.started; got != want {
+			t.Fatalf("start %d = %q, want %q (interactive must preempt queued background)", i, got, want)
+		}
+	}
+	close(exec.release)
+}
+
+// TestFairShareBetweenClients verifies round-robin between two clients
+// flooding the batch class: the flooding tenant cannot starve the smaller
+// one.
+func TestFairShareBetweenClients(t *testing.T) {
+	exec := newBlockingExec()
+	h := newHarness(t, Config{Shards: 1, Execute: exec.fn})
+
+	h.submit(tinyRequest(20))
+	<-exec.started // worker blocked
+
+	submitAs := func(seed int64, client string) string {
+		req := tinyRequest(seed)
+		req.Priority = "batch"
+		req.Client = client
+		if _, status := h.submit(req); status != http.StatusAccepted {
+			t.Fatalf("seed %d: status %d", seed, status)
+		}
+		return mustKey(t, req)
+	}
+	a1 := submitAs(21, "alice")
+	a2 := submitAs(22, "alice")
+	a3 := submitAs(23, "alice")
+	b1 := submitAs(24, "bob")
+	b2 := submitAs(25, "bob")
+
+	wantOrder := []string{a1, b1, a2, b2, a3}
+	for i, want := range wantOrder {
+		exec.release <- struct{}{}
+		if got := <-exec.started; got != want {
+			t.Fatalf("start %d = %q, want %q (clients must round-robin)", i, got, want)
+		}
+	}
+	close(exec.release)
+}
+
+// TestWorkStealingKeepsWorkersBusy is the mixed-load acceptance criterion:
+// one hot home worker flooded with background sweeps plus an interactive
+// arrival.  Both workers must go busy (steal count > 0, nobody idles while
+// queues are non-empty) and the interactive sweep starts before the queued
+// background ones.
+func TestWorkStealingKeepsWorkersBusy(t *testing.T) {
+	exec := newBlockingExec()
+	h := newHarness(t, Config{Shards: 2, Execute: exec.fn})
+
+	// Craft a hot-key load: background sweeps all homed to one worker.
+	var hot []refrint.SweepRequest
+	home := -1
+	for seed := int64(1); len(hot) < 3; seed++ {
+		req := tinyRequest(seed)
+		req.Priority = "background"
+		req.Client = "hog"
+		w := sched.Home(mustKey(t, req), 2)
+		if home == -1 {
+			home = w
+		}
+		if w == home {
+			hot = append(hot, req)
+		}
+	}
+	for _, req := range hot {
+		if _, status := h.submit(req); status != http.StatusAccepted {
+			t.Fatalf("hot submit: status %d", status)
+		}
+	}
+	<-exec.started
+	<-exec.started // two sweeps running: one of the two dequeues was a steal
+
+	deadline := time.Now().Add(5 * time.Second)
+	for h.schedMetric("refrint_sched_busy_workers") != 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("both workers never went busy")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if v := h.schedMetric("refrint_sched_steals_total"); v < 1 {
+		t.Fatalf("steals_total = %v with a one-homed load on two busy workers, want >= 1", v)
+	}
+	if v := h.schedMetric(`refrint_sched_queue_depth{class="background"}`); v != 1 {
+		t.Fatalf("background queue depth = %v, want 1 (third hot sweep waiting)", v)
+	}
+	if v := h.schedMetric("refrint_queue_depth"); v != 1 {
+		t.Fatalf("total queue depth = %v, want 1", v)
+	}
+	if v := h.schedMetric(`refrint_sched_wait_seconds_count{class="background"}`); v != 2 {
+		t.Fatalf("wait count = %v, want 2 dequeues observed", v)
+	}
+
+	// An interactive arrival overtakes the still-queued background sweep.
+	inter := tinyRequest(100)
+	inter.Priority = "interactive"
+	h.submit(inter)
+	exec.release <- struct{}{}
+	if got, want := <-exec.started, mustKey(t, inter); got != want {
+		t.Fatalf("next start = %q, want interactive %q", got, want)
+	}
+	close(exec.release)
+}
+
+// TestPercentClampedWhileRunning pins the progress-bar fix: a sweep whose
+// progress callback reports done == total while export/persist is still in
+// flight must show 99%, reaching 100 only in a terminal state.
+func TestPercentClampedWhileRunning(t *testing.T) {
+	started := make(chan string, 1)
+	release := make(chan struct{})
+	h := newHarness(t, Config{
+		Execute: func(ctx context.Context, opts sweep.Options, progress func(sweep.Progress)) (*refrint.SweepResults, error) {
+			progress(sweep.Progress{Done: 2, Total: 2}) // all sims finished...
+			started <- opts.Key()
+			select { // ...but the sweep has not returned yet
+			case <-release:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			return sweep.Execute(sweep.Options{
+				Apps:             opts.Apps,
+				RetentionTimesUS: opts.RetentionTimesUS,
+				Policies:         opts.Policies,
+				EffortScale:      0.05,
+				Seed:             opts.Seed,
+				Workers:          2,
+			})
+		},
+	})
+
+	view, _ := h.submit(tinyRequest(1))
+	<-started
+	mid := h.waitState(view.ID, StateRunning)
+	if mid.Progress.Done != 2 || mid.Progress.Total != 2 {
+		t.Fatalf("running progress = %+v, want done 2/2", mid.Progress)
+	}
+	if mid.Progress.Percent != 99 {
+		t.Fatalf("running job with done==total shows %d%%, want 99 (100 must mean terminal)", mid.Progress.Percent)
+	}
+	// A cancelled job whose simulations all completed also stays at 99:
+	// 100 strictly means done.  (Cancelled before release closes, so its
+	// execution observes only the context cancellation.)
+	view2, _ := h.submit(tinyRequest(2))
+	<-started
+	h.do("DELETE", "/v1/sweeps/"+view2.ID, nil, nil)
+	cancelled := h.waitState(view2.ID, StateCancelled)
+	if cancelled.Progress.Percent != 99 {
+		t.Fatalf("cancelled job with done==total shows %d%%, want 99", cancelled.Progress.Percent)
+	}
+
+	close(release)
+	done := h.waitState(view.ID, StateDone)
+	if done.Progress.Percent != 100 {
+		t.Fatalf("done job shows %d%%, want 100", done.Progress.Percent)
+	}
+}
+
+// TestPriorityValidationAndView covers the wire form: bad priority labels
+// are rejected, and the job view reports the effective class.
+func TestPriorityValidationAndView(t *testing.T) {
+	h := newHarness(t, Config{})
+	bad := tinyRequest(1)
+	bad.Priority = "turbo"
+	if _, status := h.submit(bad); status != http.StatusBadRequest {
+		t.Fatalf("unknown priority: status %d, want 400", status)
+	}
+
+	req := tinyRequest(2)
+	req.Priority = "background"
+	view, _ := h.submit(req)
+	if view.Priority != "background" {
+		t.Fatalf("job priority = %q, want background", view.Priority)
+	}
+	h.waitState(view.ID, StateDone)
+
+	// Default priority is interactive.
+	view2, _ := h.submit(tinyRequest(3))
+	if view2.Priority != "interactive" {
+		t.Fatalf("default job priority = %q, want interactive", view2.Priority)
+	}
+	h.waitState(view2.ID, StateDone)
+}
+
+// TestQueuedEntryPromotedByUrgentAttach verifies priority inheritance: an
+// interactive job attaching to a queued background execution drags it ahead
+// of other background work.
+func TestQueuedEntryPromotedByUrgentAttach(t *testing.T) {
+	exec := newBlockingExec()
+	h := newHarness(t, Config{Shards: 1, Execute: exec.fn})
+
+	h.submit(tinyRequest(30))
+	<-exec.started // worker blocked
+
+	first := tinyRequest(31)
+	first.Priority = "background"
+	h.submit(first)
+	shared := tinyRequest(32)
+	shared.Priority = "background"
+	h.submit(shared)
+
+	// An interactive job for the same sweep as the *second* background
+	// entry attaches and promotes it past the first.
+	urgent := tinyRequest(32)
+	urgent.Priority = "interactive"
+	attach, status := h.submit(urgent)
+	if status != http.StatusAccepted {
+		t.Fatalf("attach submit: status %d", status)
+	}
+	if attach.Key != mustKey(t, shared) {
+		t.Fatalf("attach got its own execution: key %q", attach.Key)
+	}
+
+	wantOrder := []string{mustKey(t, shared), mustKey(t, first)}
+	for i, want := range wantOrder {
+		exec.release <- struct{}{}
+		if got := <-exec.started; got != want {
+			t.Fatalf("start %d = %q, want %q (urgent attach must promote)", i, got, want)
+		}
+	}
+	close(exec.release)
+	if n := exec.calls.Load(); n != 3 {
+		t.Fatalf("executor ran %d sweeps, want 3 (attach shared one)", n)
+	}
+}
+
+// TestCancelUrgentJobDemotesEntry pins the inverse of priority inheritance:
+// when the urgent job that promoted a shared queued execution cancels, the
+// execution is demoted back to the most urgent surviving interest, freeing
+// the urgent class's bounded slot.
+func TestCancelUrgentJobDemotesEntry(t *testing.T) {
+	exec := newBlockingExec()
+	h := newHarness(t, Config{
+		Shards:          1,
+		ClassQueueDepth: [sched.NumClasses]int{1, 4, 4},
+		Execute:         exec.fn,
+	})
+
+	h.submit(tinyRequest(1))
+	<-exec.started // occupy the worker
+
+	bg := tinyRequest(5)
+	bg.Priority = "background"
+	h.submit(bg)
+	urgent := tinyRequest(5)
+	urgent.Priority = "interactive"
+	uview, _ := h.submit(urgent) // attaches and promotes to interactive
+
+	if v := h.schedMetric(`refrint_sched_queue_depth{class="interactive"}`); v != 1 {
+		t.Fatalf("interactive depth = %v after promotion, want 1", v)
+	}
+	other := tinyRequest(6)
+	other.Priority = "interactive"
+	if _, status := h.submit(other); status != http.StatusServiceUnavailable {
+		t.Fatalf("interactive submit with the class full: status %d, want 503", status)
+	}
+
+	// Cancelling the urgent job demotes the execution back to background.
+	h.do("DELETE", "/v1/sweeps/"+uview.ID, nil, nil)
+	if v := h.schedMetric(`refrint_sched_queue_depth{class="interactive"}`); v != 0 {
+		t.Fatalf("interactive depth = %v after urgent cancel, want 0 (entry demoted)", v)
+	}
+	if v := h.schedMetric(`refrint_sched_queue_depth{class="background"}`); v != 1 {
+		t.Fatalf("background depth = %v after urgent cancel, want 1", v)
+	}
+	if _, status := h.submit(other); status != http.StatusAccepted {
+		t.Fatalf("interactive submit after demotion: status %d, want 202 (slot freed)", status)
+	}
+	close(exec.release)
+}
+
+// TestClassDepthIsolation verifies per-class bounds: filling the background
+// queue must not reject interactive submissions.
+func TestClassDepthIsolation(t *testing.T) {
+	exec := newBlockingExec()
+	h := newHarness(t, Config{
+		Shards:          1,
+		ClassQueueDepth: [sched.NumClasses]int{2, 2, 1},
+		Execute:         exec.fn,
+	})
+
+	h.submit(tinyRequest(40))
+	<-exec.started
+
+	bg := tinyRequest(41)
+	bg.Priority = "background"
+	if _, status := h.submit(bg); status != http.StatusAccepted {
+		t.Fatalf("background fill: status %d", status)
+	}
+	over := tinyRequest(42)
+	over.Priority = "background"
+	if _, status := h.submit(over); status != http.StatusServiceUnavailable {
+		t.Fatalf("background overflow: status %d, want 503", status)
+	}
+	inter := tinyRequest(43)
+	inter.Priority = "interactive"
+	if _, status := h.submit(inter); status != http.StatusAccepted {
+		t.Fatalf("interactive beside a full background queue: status %d, want 202", status)
+	}
+	close(exec.release)
+}

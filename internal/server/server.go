@@ -12,6 +12,7 @@ import (
 
 	"refrint"
 	"refrint/internal/config"
+	"refrint/internal/sched"
 	"refrint/internal/store"
 	"refrint/internal/sweep"
 	"refrint/internal/workload"
@@ -23,12 +24,24 @@ type ExecuteFunc func(ctx context.Context, opts sweep.Options, progress func(swe
 
 // Config tunes the service.  The zero value is usable.
 type Config struct {
-	// Shards is the number of worker goroutines (default 2).  Each shard
+	// Shards is the number of worker goroutines (default 2).  Each worker
 	// runs one sweep at a time; a sweep itself parallelizes internally.
+	// Workers steal across queues, so the name is historical: submissions
+	// are homed to a worker by key hash but never stuck behind it.
 	Shards int
-	// QueueDepth bounds the pending executions per shard (default 8).
-	// Submissions beyond shards*(1+depth) in-flight sweeps get HTTP 503.
+	// QueueDepth scales the pending-execution bound (default 8): each
+	// priority class admits Shards*QueueDepth queued sweeps unless
+	// ClassQueueDepth overrides it.  Submissions beyond the bound get HTTP
+	// 503.
 	QueueDepth int
+	// ClassQueueDepth, where positive, bounds the queued sweeps of one
+	// priority class (indexed by sched.Class) instead of Shards*QueueDepth.
+	ClassQueueDepth [sched.NumClasses]int
+	// ClassWeights are the weighted-fair dequeue shares per priority class
+	// (default sched.DefaultWeights, 16/4/1): with every class backlogged,
+	// one dequeue cycle serves that many sweeps of each class, most urgent
+	// first.
+	ClassWeights [sched.NumClasses]int
 	// CacheEntries bounds how many completed sweeps are kept for reuse
 	// (default 32).
 	CacheEntries int
@@ -37,6 +50,9 @@ type Config struct {
 	// along with their grip on cached results — so a long-running service
 	// does not grow without bound.
 	JobHistory int
+	// BatchHistory bounds how many finished batches remain pollable
+	// (default 256), like JobHistory for /v1/batches handles.
+	BatchHistory int
 	// SweepWorkers caps the intra-sweep simulation concurrency per job
 	// (default: NumCPU divided by Shards, at least 1), so concurrent jobs
 	// do not oversubscribe the machine.
@@ -64,6 +80,14 @@ func (c Config) withDefaults() Config {
 	if c.JobHistory <= 0 {
 		c.JobHistory = 1024
 	}
+	if c.BatchHistory <= 0 {
+		c.BatchHistory = 256
+	}
+	for class := range c.ClassQueueDepth {
+		if c.ClassQueueDepth[class] <= 0 {
+			c.ClassQueueDepth[class] = c.Shards * c.QueueDepth
+		}
+	}
 	if c.SweepWorkers <= 0 {
 		c.SweepWorkers = max(1, runtime.NumCPU()/c.Shards)
 	}
@@ -80,23 +104,30 @@ func (c Config) withDefaults() Config {
 
 // Server is the sweep service.  It implements http.Handler.
 type Server struct {
-	cfg  Config
-	mux  *http.ServeMux
-	pool *pool
+	cfg   Config
+	mux   *http.ServeMux
+	sched *sched.Scheduler
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 
 	startedAt time.Time
 
-	// mu guards jobs, jobOrder, cache, nextID, closed, the metrics counters
-	// and every mutable Job/entry field.
-	mu       sync.Mutex
-	jobs     map[string]*Job
-	jobOrder []string
-	cache    *resultCache
-	nextID   int
-	closed   bool
+	// mu guards jobs, jobOrder, batches, batchOrder, cache, nextID,
+	// nextBatchID, closed, the metrics counters and every mutable
+	// Job/Batch/entry field.  Every scheduler mutation (Submit, Cancel,
+	// Promote) happens under mu too, which is what makes the batch
+	// endpoint's capacity-check-then-submit atomic; lock order is always
+	// s.mu -> sched's internal mutex.
+	mu          sync.Mutex
+	jobs        map[string]*Job
+	jobOrder    []string
+	batches     map[string]*Batch
+	batchOrder  []string
+	cache       *resultCache
+	nextID      int
+	nextBatchID int
+	closed      bool
 
 	// Metrics counters (see handleMetrics).
 	sweepCacheHits   int64 // submissions answered done immediately (memory or store)
@@ -114,12 +145,18 @@ func New(cfg Config) *Server {
 		cfg:       cfg,
 		mux:       http.NewServeMux(),
 		jobs:      make(map[string]*Job),
+		batches:   make(map[string]*Batch),
 		cache:     newResultCache(cfg.CacheEntries),
 		startedAt: time.Now(),
 		simRate:   newRateWindow(time.Minute, time.Now),
 	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
-	s.pool = newPool(cfg.Shards, cfg.QueueDepth, s.runEntry)
+	s.sched = sched.New(sched.Config{
+		Workers: cfg.Shards,
+		Depth:   cfg.ClassQueueDepth,
+		Weights: cfg.ClassWeights,
+	})
+	s.sched.Start(func(payload any) { s.runEntry(payload.(*entry)) })
 
 	s.mux.HandleFunc("POST /v1/sweeps", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/sweeps", s.handleListJobs)
@@ -127,6 +164,9 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("DELETE /v1/sweeps/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/sweeps/{id}/figures", s.handleFigures)
 	s.mux.HandleFunc("GET /v1/sweeps/{id}/results", s.handleResults)
+	s.mux.HandleFunc("POST /v1/batches", s.handleSubmitBatch)
+	s.mux.HandleFunc("GET /v1/batches/{id}", s.handleGetBatch)
+	s.mux.HandleFunc("DELETE /v1/batches/{id}", s.handleCancelBatch)
 	s.mux.HandleFunc("GET /v1/sims", s.handleSims)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -147,7 +187,7 @@ func (s *Server) Close() {
 	s.closed = true
 	s.mu.Unlock()
 	s.baseCancel()
-	s.pool.close()
+	s.sched.Close()
 }
 
 // runEntry executes one shared sweep on a worker shard.
@@ -264,6 +304,14 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
 }
 
+// classFor resolves an optional wire priority label, falling back to def.
+func classFor(label string, def sched.Class) (sched.Class, error) {
+	if label == "" {
+		return def, nil
+	}
+	return sched.ParseClass(label)
+}
+
 // handleSubmit implements POST /v1/sweeps: parse the request, attach to an
 // existing execution of the same sweep if one is in flight or cached
 // (singleflight), otherwise enqueue a fresh execution.
@@ -273,6 +321,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, "invalid request body: %v", err)
+		return
+	}
+	class, err := classFor(req.Priority, sched.Interactive)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	opts, err := req.Options()
@@ -295,16 +348,44 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
 		return
 	}
+	job, ok := s.submitJobLocked(req, opts, key, class, class)
+	if !ok {
+		s.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, "%s queue is full, retry later", class)
+		return
+	}
+	status := http.StatusAccepted
+	if job.cacheHit {
+		status = http.StatusOK
+	}
+	view := job.snapshot()
+	s.mu.Unlock()
+
+	w.Header().Set("Location", "/v1/sweeps/"+view.ID)
+	writeJSON(w, status, view)
+}
+
+// submitJobLocked creates one job for a resolved request: served from cache,
+// attached to the in-flight execution of the same key (promoting it when the
+// new job is more urgent), or enqueued as a fresh execution.  class is the
+// job's own priority; entryClass is the class a fresh execution enqueues at —
+// the same, except in a batch whose later duplicate of this key is more
+// urgent (creating at the final class directly keeps capacity accounting
+// exact).  It reports false — creating nothing — when the class queue is
+// full.  Caller holds the server mutex; both POST /v1/sweeps and POST
+// /v1/batches funnel through here, which keeps every scheduler mutation
+// serialized under it.
+func (s *Server) submitJobLocked(req refrint.SweepRequest, opts sweep.Options, key string, class, entryClass sched.Class) (*Job, bool) {
 	s.nextID++
 	job := &Job{
 		id:        fmt.Sprintf("job-%06d", s.nextID),
 		key:       key,
 		request:   req,
+		class:     class,
 		state:     StateQueued,
 		createdAt: time.Now(),
 	}
 
-	status := http.StatusAccepted
 	e, hit := s.cache.lookup(key)
 	if hit {
 		// Singleflight: ride the execution already in flight, or serve the
@@ -319,7 +400,6 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			job.cacheHit = true
 			job.startedAt = job.createdAt
 			job.endedAt = job.createdAt
-			status = http.StatusOK
 			s.sweepCacheHits++
 		case StateRunning:
 			e.jobs = append(e.jobs, job)
@@ -331,6 +411,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			e.jobs = append(e.jobs, job)
 			e.refs++
 			s.sweepCacheMisses++
+			// Priority inheritance: a more urgent job attaching to a
+			// queued execution drags it into the urgent class.  Promotion
+			// targets entryClass so a batch moves the execution straight
+			// to its effective class — the class its capacity check
+			// charged — never through an unaccounted intermediate one.
+			if entryClass < e.class {
+				s.moveEntryLocked(e, entryClass)
+			}
 		}
 	} else {
 		s.sweepCacheMisses++
@@ -340,29 +428,26 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			opts:   opts,
 			ctx:    ctx,
 			cancel: cancel,
+			class:  entryClass,
 			state:  StateQueued,
 			total:  opts.Size(),
 			jobs:   []*Job{job},
 			refs:   1,
 		}
 		job.entry = e
-		if !s.pool.submit(e) {
-			s.mu.Unlock()
+		h, ok := s.sched.Submit(key, req.Client, entryClass, e)
+		if !ok {
 			cancel()
-			writeError(w, http.StatusServiceUnavailable, "job queue is full, retry later")
-			return
+			return nil, false
 		}
+		e.handle = h
 		s.cache.put(e)
-		s.cfg.Logf("sweep %s: queued (%d sims)", key, e.total)
+		s.cfg.Logf("sweep %s: queued %s (%d sims)", key, entryClass, e.total)
 	}
 	s.jobs[job.id] = job
 	s.jobOrder = append(s.jobOrder, job.id)
 	s.evictJobsLocked()
-	view := job.snapshot()
-	s.mu.Unlock()
-
-	w.Header().Set("Location", "/v1/sweeps/"+view.ID)
-	writeJSON(w, status, view)
+	return job, true
 }
 
 // reviveStoredSweep loads a previously persisted sweep from the store into
@@ -392,16 +477,6 @@ func (s *Server) reviveStoredSweep(key string) (*refrint.SweepResults, bool) {
 	if !s.cfg.Store.Get(store.KindSweep, key, &res) {
 		return nil, false
 	}
-	e := &entry{
-		key:    key,
-		opts:   res.Options,
-		ctx:    context.Background(),
-		cancel: func() {},
-		state:  StateDone,
-		res:    &res,
-	}
-	e.total = res.Options.Size()
-	e.done = e.total
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if cur, ok := s.cache.lookup(key); ok {
@@ -411,10 +486,27 @@ func (s *Server) reviveStoredSweep(key string) (*refrint.SweepResults, bool) {
 		}
 		return nil, false
 	}
+	s.installDoneEntryLocked(key, &res)
+	s.cfg.Logf("sweep %s: restored from store", key)
+	return &res, true
+}
+
+// installDoneEntryLocked caches an already-completed sweep result as a done
+// entry, so the next submission of its key is a pure cache hit.  Caller
+// holds the server mutex.
+func (s *Server) installDoneEntryLocked(key string, res *refrint.SweepResults) {
+	e := &entry{
+		key:    key,
+		opts:   res.Options,
+		ctx:    context.Background(),
+		cancel: func() {},
+		state:  StateDone,
+		res:    res,
+	}
+	e.total = res.Options.Size()
+	e.done = e.total
 	s.cache.put(e)
 	s.cache.markCompleted(e)
-	s.cfg.Logf("sweep %s: restored from store", key)
-	return e.res, true
 }
 
 // evictJobsLocked forgets the oldest terminal jobs beyond the history
@@ -484,28 +576,73 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.mu.Lock()
-	if job.state.Terminal() {
-		view := job.snapshot()
-		s.mu.Unlock()
-		writeJSON(w, http.StatusOK, view)
+	e := s.cancelJobLocked(job)
+	view := job.snapshot()
+	s.mu.Unlock()
+	if e != nil {
+		e.cancel()
+		s.cfg.Logf("sweep %s: cancel requested", e.key)
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+// moveEntryLocked moves a queued execution to another class, updating its
+// handle.  A no-op when the scheduler declines (the entry is no longer
+// queued, or the target class is full).  Caller holds the server mutex.
+func (s *Server) moveEntryLocked(e *entry, to sched.Class) {
+	if to == e.class {
 		return
+	}
+	if h, ok := s.sched.Promote(e.handle, to); ok {
+		e.handle, e.class = h, to
+		s.cfg.Logf("sweep %s: moved to %s", e.key, to)
+	}
+}
+
+// cancelJobLocked cancels one job.  When that job was the execution's last
+// interested one, the execution is aborted: a still-queued execution is
+// pulled out of the scheduler right here — freeing its bounded queue slot at
+// cancel time, never leaving dead work camping on capacity — and finished;
+// a running one must be stopped through its context, which the caller does
+// by invoking cancel() on the returned entry after releasing the mutex.
+// When other jobs remain interested, a queued execution is demoted to the
+// most urgent class they actually asked for, so cancelled urgency does not
+// keep camping on an urgent class's bounded slot.  Terminal jobs are left
+// untouched.  Caller holds the server mutex.
+func (s *Server) cancelJobLocked(job *Job) *entry {
+	if job.state.Terminal() {
+		return nil
 	}
 	job.state = StateCancelled
 	job.err = context.Canceled
 	job.endedAt = time.Now()
 	e := job.entry
 	e.refs--
-	abort := e.refs <= 0 && !e.state.Terminal()
-	if abort {
-		s.cache.drop(e) // no new jobs may attach to a doomed execution
+	if e.refs > 0 {
+		if e.state == StateQueued {
+			want := sched.Class(-1)
+			for _, j := range e.jobs {
+				if !j.state.Terminal() && (want < 0 || j.class < want) {
+					want = j.class
+				}
+			}
+			if want > e.class {
+				s.moveEntryLocked(e, want)
+			}
+		}
+		return nil
 	}
-	view := job.snapshot()
-	s.mu.Unlock()
-	if abort {
-		e.cancel()
-		s.cfg.Logf("sweep %s: cancel requested", e.key)
+	if e.state.Terminal() {
+		return nil
 	}
-	writeJSON(w, http.StatusOK, view)
+	s.cache.drop(e) // no new jobs may attach to a doomed execution
+	if s.sched.Cancel(e.handle) {
+		// Still queued: the slot is already freed and no worker will ever
+		// pop this entry, so it finishes here and now.
+		s.finishLocked(e, nil, context.Canceled)
+		return nil
+	}
+	return e
 }
 
 // handleFigures implements GET /v1/sweeps/{id}/figures: the Table 6.1 and
@@ -632,7 +769,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	h := healthz{
 		Status:   "ok",
 		Jobs:     len(s.jobs),
-		Queued:   s.pool.queued(),
+		Queued:   s.sched.Queued(),
 		Inflight: inflight,
 		Cached:   cached,
 	}

@@ -241,6 +241,15 @@ type SweepRequest struct {
 	// Workers bounds concurrent simulations within the sweep (0 = NumCPU).
 	// It never affects results, only speed, and is excluded from Key().
 	Workers int `json:"workers,omitempty"`
+	// Priority requests a scheduling class from refrint-serve:
+	// "interactive" (the default for POST /v1/sweeps), "batch" (the default
+	// inside POST /v1/batches) or "background".  It affects only when the
+	// sweep runs, never its results, and is excluded from Key().
+	Priority string `json:"priority,omitempty"`
+	// Client labels the submitting tenant: the scheduler shares each
+	// priority class fairly between client labels, so one flooding tenant
+	// cannot monopolize a class.  Excluded from Key().
+	Client string `json:"client,omitempty"`
 }
 
 // Options resolves the request into executable sweep options, validating

@@ -8,11 +8,11 @@ set -eu
 
 out="${1:-}"
 count="${BENCH_COUNT:-5}"
-pattern="${BENCH_PATTERN:-BenchmarkRun|BenchmarkAccessSteadyState|BenchmarkSentryInterruptProcessing|BenchmarkPeriodicSweepProcessing|BenchmarkDemandTouch}"
+pattern="${BENCH_PATTERN:-BenchmarkRun|BenchmarkAccessSteadyState|BenchmarkSentryInterruptProcessing|BenchmarkPeriodicSweepProcessing|BenchmarkDemandTouch|BenchmarkSubmitDequeue}"
 
 run() {
     go test -run '^$' -bench "$pattern" -benchmem -count "$count" \
-        ./internal/sim ./internal/core
+        ./internal/sim ./internal/core ./internal/sched
 }
 
 # No pipe around `run`: POSIX sh has no pipefail, and `run | tee` would
