@@ -9,6 +9,7 @@
 //	curl -s -X POST localhost:8080/v1/sweeps \
 //	     -d '{"apps":["FFT","LU"],"retention_times_us":[50],"effort_scale":0.25}'
 //	curl -s localhost:8080/v1/sweeps/job-000001            # poll progress
+//	curl -sN localhost:8080/v1/sweeps/job-000001/events    # stream progress (SSE)
 //	curl -s localhost:8080/v1/sweeps/job-000001/figures    # figure series (job id or sweep key)
 //	curl -s -X DELETE localhost:8080/v1/sweeps/job-000001  # cancel
 //	curl -s -X POST localhost:8080/v1/batches \
@@ -70,17 +71,19 @@ func parseClassTriple(flagName, s string) ([sched.NumClasses]int, error) {
 
 func main() {
 	var (
-		addr          = flag.String("addr", ":8080", "listen address")
-		shards        = flag.Int("shards", 2, "worker goroutines (concurrent sweeps)")
-		queueDepth    = flag.Int("queue-depth", 8, "pending sweeps per worker per priority class (each class admits shards*queue-depth)")
-		classDepths   = flag.String("class-queue-depths", "", "per-class queued-sweep bounds as interactive,batch,background (overrides -queue-depth scaling)")
-		classWeights  = flag.String("class-weights", "", "weighted-fair dequeue shares as interactive,batch,background (default 16,4,1)")
-		cacheEntries  = flag.Int("cache", 32, "completed sweeps kept for reuse")
-		sweepWorkers  = flag.Int("sweep-workers", 0, "simulation concurrency per sweep (0 = NumCPU/shards)")
-		jobHistory    = flag.Int("job-history", 1024, "finished jobs kept pollable")
-		batchHistory  = flag.Int("batch-history", 256, "finished batches kept pollable")
-		dataDir       = flag.String("data-dir", "", "persist results (whole sweeps and individual cells) under this directory; restarts serve completed sweeps without re-running them")
-		storeMaxBytes = flag.Int64("store-max-bytes", 1<<30, "LRU byte budget of the persistent store (with -data-dir)")
+		addr           = flag.String("addr", ":8080", "listen address")
+		shards         = flag.Int("shards", 2, "worker goroutines (concurrent sweeps)")
+		queueDepth     = flag.Int("queue-depth", 8, "pending sweeps per worker per priority class (each class admits shards*queue-depth)")
+		classDepths    = flag.String("class-queue-depths", "", "per-class queued-sweep bounds as interactive,batch,background (overrides -queue-depth scaling)")
+		classWeights   = flag.String("class-weights", "", "weighted-fair dequeue shares as interactive,batch,background (default 16,4,1)")
+		cacheEntries   = flag.Int("cache", 32, "completed sweeps kept for reuse")
+		sweepWorkers   = flag.Int("sweep-workers", 0, "simulation concurrency per sweep (0 = NumCPU/shards)")
+		jobHistory     = flag.Int("job-history", 1024, "finished jobs kept pollable")
+		batchHistory   = flag.Int("batch-history", 256, "finished batches kept pollable")
+		dataDir        = flag.String("data-dir", "", "persist results (whole sweeps and individual cells) under this directory; restarts serve completed sweeps without re-running them")
+		storeMaxBytes  = flag.Int64("store-max-bytes", 1<<30, "LRU byte budget of the persistent store (with -data-dir)")
+		eventHeartbeat = flag.Duration("event-heartbeat", 15*time.Second, "keepalive comment interval on SSE /events streams")
+		eventBuffer    = flag.Int("event-buffer", 64, "events buffered per SSE subscriber; progress coalesces (latest wins) so slow consumers never block execution")
 	)
 	flag.Parse()
 
@@ -117,6 +120,8 @@ func main() {
 		SweepWorkers:    *sweepWorkers,
 		JobHistory:      *jobHistory,
 		BatchHistory:    *batchHistory,
+		EventHeartbeat:  *eventHeartbeat,
+		EventBuffer:     *eventBuffer,
 		Store:           st,
 		Logf:            logger.Printf,
 	})

@@ -24,6 +24,12 @@ type Batch struct {
 	client    string
 	members   []batchMember
 	createdAt time.Time
+
+	// lastState/lastEventDone are what the event bus last published for
+	// this batch; the publish tick diffs fresh snapshots against them (see
+	// Server.publishBatchLocked).
+	lastState     State
+	lastEventDone int
 }
 
 // batchMember is one job of a batch: live (job != nil) or frozen (view).
@@ -297,8 +303,25 @@ func (s *Server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	s.batches[b.id] = b
 	s.batchOrder = append(s.batchOrder, b.id)
-	s.evictBatchesLocked()
 	view := b.snapshot()
+	// Seed the event-bus diff state with the creation snapshot: subscribers
+	// get it as their connect-time "state" event, so the tick only needs to
+	// publish changes from here on.  The creation itself is announced to
+	// firehose subscribers — including an immediate terminal for a batch
+	// born done off cache hits, which the tick would otherwise never see.
+	// This runs before evictBatchesLocked: a terminal-at-birth batch that
+	// overflows the history is evicted right here, and eviction's own
+	// last-chance publish must see lastState already terminal, not emit a
+	// second, out-of-order terminal.
+	b.lastState = view.State
+	b.lastEventDone = view.Progress.Done
+	if s.bus.hasTopic(batchTopic(b.id)) {
+		s.bus.publish(eventState, batchTopic(b.id), int64(view.Progress.Done), view)
+		if view.State.Terminal() {
+			s.bus.publish(string(view.State), batchTopic(b.id), int64(view.Progress.Done), view)
+		}
+	}
+	s.evictBatchesLocked()
 	s.mu.Unlock()
 	s.cfg.Logf("batch %s: %d jobs (%s)", b.id, len(view.Jobs), view.Priority)
 
@@ -412,6 +435,12 @@ func (s *Server) evictBatchesLocked() {
 	kept := s.batchOrder[:0]
 	for _, id := range s.batchOrder {
 		if excess > 0 && terminal[id] {
+			// Last chance to publish the terminal event: the publish tick
+			// only sees batches still in the map, so an attached subscriber
+			// would otherwise wait forever on a stream whose batch is gone.
+			if b := s.batches[id]; !b.lastState.Terminal() {
+				s.publishBatchLocked(b)
+			}
 			delete(s.batches, id)
 			excess--
 			continue

@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"sync/atomic"
 
 	"refrint"
 	"refrint/internal/sched"
@@ -11,7 +12,8 @@ import (
 // entry is one shared sweep execution: the singleflight unit that any number
 // of jobs with the same canonical key attach to.  After it completes
 // successfully it doubles as the cache record for that key.  All fields
-// except ctx/cancel are guarded by the server mutex.
+// except ctx/cancel and the atomic progress counters are guarded by the
+// server mutex.
 type entry struct {
 	key    string
 	opts   sweep.Options
@@ -25,10 +27,16 @@ type entry struct {
 	handle sched.Handle
 
 	state State // queued → running → done | failed | cancelled
-	done  int   // simulations completed
-	total int   // simulations in the sweep
-	res   *refrint.SweepResults
-	err   error
+
+	// done/total are the lock-free progress counters: the per-simulation
+	// callback (Server.progressCallback) advances done with a CAS-max and
+	// stores total, without touching the server mutex.  Readers load them
+	// at snapshot/tick time; monotonicity is the callback's invariant.
+	done  atomic.Int64 // simulations completed
+	total atomic.Int64 // simulations in the sweep
+
+	res *refrint.SweepResults
+	err error
 
 	jobs []*Job // every job ever attached (including cancelled ones)
 	refs int    // attached jobs still waiting for the result

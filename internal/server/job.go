@@ -22,6 +22,13 @@
 // execution entry, and a job submitted after that entry completed is served
 // from the result cache without running anything.
 //
+// Progress is observable two ways: polling (GET /v1/sweeps/{id}) and
+// streaming (GET /v1/sweeps/{id}/events, /v1/batches/{id}/events and the
+// /v1/events firehose — SSE; see events.go).  Either way the per-simulation
+// accounting underneath is lock-free: sweep workers advance per-execution
+// atomic counters and a publish tick folds them into views, metrics and
+// events.
+//
 // With a persistent store attached (Config.Store), completed sweeps and
 // individual simulation cells survive restarts: submissions and result
 // fetches check the store behind the in-memory cache, and running sweeps
@@ -67,6 +74,32 @@ type Job struct {
 	createdAt time.Time
 	startedAt time.Time // zero until running
 	endedAt   time.Time // zero until terminal
+
+	// final/finalDone/finalTotal freeze the job's progress at its terminal
+	// transition: a job cancelled off a still-running shared execution must
+	// not keep creeping forward as other jobs' simulations complete.
+	final      bool
+	finalDone  int
+	finalTotal int
+
+	// lastEventDone is the done count most recently published as an SSE
+	// progress event (see Server.publishJobProgressLocked).
+	lastEventDone int
+}
+
+// freezeProgress pins the job's progress counters at the moment it turns
+// terminal.  Caller holds the server mutex and has already set the terminal
+// state.
+func (j *Job) freezeProgress() {
+	if j.final || j.entry == nil {
+		return
+	}
+	j.final = true
+	j.finalDone = int(j.entry.done.Load())
+	j.finalTotal = int(j.entry.total.Load())
+	if j.state == StateDone {
+		j.finalDone = j.finalTotal
+	}
 }
 
 // ProgressView is the serialized completion state of a job.
@@ -82,7 +115,9 @@ type ProgressView struct {
 }
 
 // progressView renders simulation progress for a job or batch in state st,
-// clamping Percent to 99 unless st is done: 100 always means done.
+// clamping Percent to 99 unless st is done: 100 always means done — and,
+// symmetrically, done always means 100, including an empty or all-cache-hit
+// sweep whose Total is 0 (which would otherwise divide to 0 forever).
 func progressView(done, total int, st State) ProgressView {
 	v := ProgressView{Done: done, Total: total}
 	if total > 0 {
@@ -90,6 +125,9 @@ func progressView(done, total int, st State) ProgressView {
 		if v.Percent >= 100 && st != StateDone {
 			v.Percent = 99
 		}
+	}
+	if st == StateDone {
+		v.Percent = 100
 	}
 	return v
 }
@@ -122,9 +160,16 @@ func (j *Job) snapshot() JobView {
 		CreatedAt: j.createdAt,
 	}
 	if j.entry != nil {
-		done, total := j.entry.done, j.entry.total
-		if j.state == StateDone {
-			done = total
+		var done, total int
+		if j.final {
+			// Terminal jobs are frozen: the shared execution may still be
+			// running for other jobs, but this job's progress is history.
+			done, total = j.finalDone, j.finalTotal
+		} else {
+			done, total = int(j.entry.done.Load()), int(j.entry.total.Load())
+			if j.state == StateDone {
+				done = total
+			}
 		}
 		v.Progress = progressView(done, total, j.state)
 	}

@@ -26,10 +26,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	batches := len(s.batches)
 	cached, inflight := s.cache.stats()
 	sweepHits, sweepMisses := s.sweepCacheHits, s.sweepCacheMisses
-	sims := s.simsCompleted
+	s.foldSimRateLocked()
+	sims := s.simsCompleted.Load()
 	windowed := s.simRate.Rate()
 	uptime := time.Since(s.startedAt).Seconds()
 	s.mu.Unlock()
+	subs, published, dropped := s.bus.stats()
 
 	var b strings.Builder
 	gauge := func(name, help string, value any) {
@@ -79,6 +81,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		counter("refrint_store_quarantined_total", "Blobs quarantined after failing verification.", ss.Quarantined)
 		counter("refrint_store_evictions_total", "Blobs evicted by the LRU byte budget.", ss.Evictions)
 	}
+
+	gauge("refrint_event_subscribers", "Open SSE subscriptions (job, batch and firehose streams).", subs)
+	counter("refrint_events_published_total", "Events fanned out to at least one SSE subscriber.", published)
+	counter("refrint_events_dropped_total", "Events dropped or coalesced away on slow SSE subscribers.", dropped)
 
 	counter("refrint_sims_completed_total", "Simulations completed (cell-cache hits included).", sims)
 	rate := 0.0

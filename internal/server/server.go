@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"refrint"
@@ -57,6 +58,18 @@ type Config struct {
 	// (default: NumCPU divided by Shards, at least 1), so concurrent jobs
 	// do not oversubscribe the machine.
 	SweepWorkers int
+	// EventBuffer bounds each SSE subscriber's pending-event queue
+	// (default 64).  Progress events coalesce (latest wins) and overflow
+	// drops intermediate events, so a slow subscriber never blocks
+	// execution and never grows memory without bound.
+	EventBuffer int
+	// EventHeartbeat is the keepalive comment interval on SSE streams
+	// (default 15s), so idle connections survive proxies.
+	EventHeartbeat time.Duration
+	// ProgressInterval is how often the lock-free per-entry progress
+	// counters are folded into the windowed sims/sec gauge and published
+	// as SSE progress events (default 100ms).
+	ProgressInterval time.Duration
 	// Execute runs a sweep (default sweep.ExecuteContext).
 	Execute ExecuteFunc
 	// Store, when set, persists completed sweeps and individual simulation
@@ -91,6 +104,15 @@ func (c Config) withDefaults() Config {
 	if c.SweepWorkers <= 0 {
 		c.SweepWorkers = max(1, runtime.NumCPU()/c.Shards)
 	}
+	if c.EventBuffer <= 0 {
+		c.EventBuffer = 64
+	}
+	if c.EventHeartbeat <= 0 {
+		c.EventHeartbeat = 15 * time.Second
+	}
+	if c.ProgressInterval <= 0 {
+		c.ProgressInterval = 100 * time.Millisecond
+	}
 	if c.Execute == nil {
 		c.Execute = func(ctx context.Context, opts sweep.Options, progress func(sweep.Progress)) (*refrint.SweepResults, error) {
 			return sweep.ExecuteContext(ctx, opts, progress)
@@ -107,9 +129,11 @@ type Server struct {
 	cfg   Config
 	mux   *http.ServeMux
 	sched *sched.Scheduler
+	bus   *eventBus
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
+	loopDone   chan struct{} // closed when the progress tick loop exits
 
 	startedAt time.Time
 
@@ -132,10 +156,18 @@ type Server struct {
 	// Metrics counters (see handleMetrics).
 	sweepCacheHits   int64 // submissions answered done immediately (memory or store)
 	sweepCacheMisses int64 // submissions that enqueued or attached to a live execution
-	simsCompleted    int64 // simulations finished across all sweeps (cell hits included)
-	// simRate tracks recent completions for the windowed sims/sec gauge
-	// (guarded by mu, like the counters above).
-	simRate *rateWindow
+
+	// simsCompleted counts simulations finished across all sweeps (cell
+	// hits included).  It is an atomic, NOT guarded by mu: the per-sim
+	// progress callback adds to it lock-free (see progressCallback), and
+	// readers fold it into the windowed gauge below on tick or on read.
+	simsCompleted atomic.Int64
+	// simRate tracks recent completions for the windowed sims/sec gauge;
+	// simsFolded is how much of simsCompleted it has absorbed.  Both are
+	// guarded by mu and fed via foldSimRateLocked, never from the per-sim
+	// callback.
+	simRate    *rateWindow
+	simsFolded int64
 }
 
 // New builds a server and starts its worker pool.  Call Close to stop it.
@@ -144,11 +176,13 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:       cfg,
 		mux:       http.NewServeMux(),
+		bus:       newEventBus(cfg.EventBuffer),
 		jobs:      make(map[string]*Job),
 		batches:   make(map[string]*Batch),
 		cache:     newResultCache(cfg.CacheEntries),
 		startedAt: time.Now(),
 		simRate:   newRateWindow(time.Minute, time.Now),
+		loopDone:  make(chan struct{}),
 	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	s.sched = sched.New(sched.Config{
@@ -157,6 +191,10 @@ func New(cfg Config) *Server {
 		Weights: cfg.ClassWeights,
 	})
 	s.sched.Start(func(payload any) { s.runEntry(payload.(*entry)) })
+	go func() {
+		defer close(s.loopDone)
+		s.progressLoop()
+	}()
 
 	s.mux.HandleFunc("POST /v1/sweeps", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/sweeps", s.handleListJobs)
@@ -164,6 +202,9 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("DELETE /v1/sweeps/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/sweeps/{id}/figures", s.handleFigures)
 	s.mux.HandleFunc("GET /v1/sweeps/{id}/results", s.handleResults)
+	s.mux.HandleFunc("GET /v1/sweeps/{id}/events", s.handleJobEvents)
+	s.mux.HandleFunc("GET /v1/batches/{id}/events", s.handleBatchEvents)
+	s.mux.HandleFunc("GET /v1/events", s.handleFirehose)
 	s.mux.HandleFunc("POST /v1/batches", s.handleSubmitBatch)
 	s.mux.HandleFunc("GET /v1/batches/{id}", s.handleGetBatch)
 	s.mux.HandleFunc("DELETE /v1/batches/{id}", s.handleCancelBatch)
@@ -177,7 +218,9 @@ func New(cfg Config) *Server {
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
 // Close cancels every in-flight execution and stops the workers.  Pending
-// queue entries are drained (and observed cancelled) before Close returns.
+// queue entries are drained (and observed cancelled) before Close returns,
+// so their terminal events reach still-attached subscribers; then every open
+// SSE stream is terminated.
 func (s *Server) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -188,6 +231,13 @@ func (s *Server) Close() {
 	s.mu.Unlock()
 	s.baseCancel()
 	s.sched.Close()
+	// One final tick: the drain above finished jobs (their terminal events
+	// publish inline), but batch terminals are tick-driven and the loop may
+	// already have exited on baseCancel — without this, a batch subscriber
+	// could lose its terminal event at shutdown.
+	s.publishTick()
+	s.bus.close()
+	<-s.loopDone
 }
 
 // runEntry executes one shared sweep on a worker shard.
@@ -205,10 +255,11 @@ func (s *Server) runEntry(e *entry) {
 		if j.state == StateQueued {
 			j.state = StateRunning
 			j.startedAt = now
+			s.publishJobLocked(j, eventState)
 		}
 	}
 	s.mu.Unlock()
-	s.cfg.Logf("sweep %s: running (%d sims)", e.key, e.total)
+	s.cfg.Logf("sweep %s: running (%d sims)", e.key, e.total.Load())
 
 	// With a store attached, individual cells already computed by earlier
 	// (possibly different) sweeps are served from it instead of simulating,
@@ -218,18 +269,7 @@ func (s *Server) runEntry(e *entry) {
 		opts.CellLookup, opts.CellPut = st.CellHooks(s.cfg.Logf)
 	}
 
-	res, err := s.cfg.Execute(e.ctx, opts, func(p sweep.Progress) {
-		s.mu.Lock()
-		if p.Done > e.done {
-			s.simsCompleted += int64(p.Done - e.done)
-			s.simRate.Add(int64(p.Done - e.done))
-			e.done = p.Done
-		}
-		if p.Total > 0 {
-			e.total = p.Total
-		}
-		s.mu.Unlock()
-	})
+	res, err := s.cfg.Execute(e.ctx, opts, s.progressCallback(e))
 
 	// Persist the completed sweep before (and outside) the mutexed state
 	// transition: the blob can be large, so the write must not stall
@@ -246,6 +286,139 @@ func (s *Server) runEntry(e *entry) {
 	s.mu.Unlock()
 }
 
+// progressCallback returns the per-simulation progress hook for one
+// execution.  This is the server's hottest path — the zero-alloc simulator
+// finishes a sim every few milliseconds on every worker — so it takes NO
+// locks and allocates nothing: the counters are atomics, and everything
+// derived from them (windowed rate, SSE progress events, /metrics) is
+// folded on the publish tick or at read time instead.  Out-of-order
+// callbacks from concurrent sweep workers are absorbed by the CAS-max loop.
+func (s *Server) progressCallback(e *entry) func(sweep.Progress) {
+	return func(p sweep.Progress) {
+		if t := int64(p.Total); t > 0 && t != e.total.Load() {
+			e.total.Store(t)
+		}
+		next := int64(p.Done)
+		for {
+			cur := e.done.Load()
+			if next <= cur {
+				return
+			}
+			if e.done.CompareAndSwap(cur, next) {
+				s.simsCompleted.Add(next - cur)
+				return
+			}
+		}
+	}
+}
+
+// foldSimRateLocked absorbs lock-free simulation completions into the
+// windowed sims/sec gauge.  Called on the publish tick and before /metrics
+// reads.  Caller holds the server mutex.
+func (s *Server) foldSimRateLocked() {
+	total := s.simsCompleted.Load()
+	if d := total - s.simsFolded; d > 0 {
+		s.simRate.Add(d)
+		s.simsFolded = total
+	}
+}
+
+// progressLoop periodically folds the atomic progress counters into the
+// rate gauge and publishes SSE progress events.  It is the only bridge from
+// the lock-free per-sim path back into the mutexed world, and it runs at
+// ProgressInterval regardless of how fast simulations finish.
+func (s *Server) progressLoop() {
+	t := time.NewTicker(s.cfg.ProgressInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.baseCtx.Done():
+			return
+		case <-t.C:
+			s.publishTick()
+		}
+	}
+}
+
+// publishTick is one iteration of progressLoop.  All snapshot and marshal
+// work is skipped while nobody subscribes.
+func (s *Server) publishTick() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.foldSimRateLocked()
+	if !s.bus.active() {
+		return
+	}
+	for _, id := range s.jobOrder {
+		j := s.jobs[id]
+		if j.state.Terminal() || j.entry == nil {
+			continue
+		}
+		s.publishJobProgressLocked(j)
+	}
+	for _, id := range s.batchOrder {
+		if b := s.batches[id]; !b.lastState.Terminal() {
+			s.publishBatchLocked(b)
+		}
+	}
+}
+
+// publishJobLocked emits a named event carrying the job's full view.
+// Caller holds the server mutex.
+func (s *Server) publishJobLocked(j *Job, name string) {
+	if !s.bus.hasTopic(jobTopic(j.id)) {
+		return
+	}
+	view := j.snapshot()
+	s.bus.publish(name, jobTopic(j.id), int64(view.Progress.Done), view)
+}
+
+// publishJobProgressLocked emits a slim progress event when the job's live
+// done count moved since the last publication.  Caller holds the server
+// mutex.
+func (s *Server) publishJobProgressLocked(j *Job) {
+	if !s.bus.hasTopic(jobTopic(j.id)) {
+		return // leave lastEventDone stale: a later audience gets the delta
+	}
+	done, total := int(j.entry.done.Load()), int(j.entry.total.Load())
+	if done == j.lastEventDone {
+		return
+	}
+	j.lastEventDone = done
+	s.bus.publish(eventProgress, jobTopic(j.id), int64(done), progressEvent{
+		ID: j.id, Kind: "sweep", State: j.state,
+		Progress: progressView(done, total, j.state),
+	})
+}
+
+// publishBatchLocked emits batch state transitions (full view) and progress
+// deltas (slim event) by diffing against the last published snapshot.  With
+// no audience for the topic it does nothing at all — no snapshot, and no
+// diff-state advance, so the transition still publishes once somebody
+// subscribes.  Caller holds the server mutex.
+func (s *Server) publishBatchLocked(b *Batch) {
+	if !s.bus.hasTopic(batchTopic(b.id)) {
+		return
+	}
+	view := b.snapshot()
+	if view.State != b.lastState {
+		name := eventState
+		if view.State.Terminal() {
+			name = string(view.State)
+		}
+		b.lastState = view.State
+		b.lastEventDone = view.Progress.Done
+		s.bus.publish(name, batchTopic(b.id), int64(view.Progress.Done), view)
+		return // the state event carries the progress; skip a duplicate
+	}
+	if view.Progress.Done != b.lastEventDone {
+		b.lastEventDone = view.Progress.Done
+		s.bus.publish(eventProgress, batchTopic(b.id), int64(view.Progress.Done), progressEvent{
+			ID: b.id, Kind: "batch", State: view.State, Progress: view.Progress,
+		})
+	}
+}
+
 // finishLocked moves an execution and its attached jobs to a terminal state.
 // Caller holds the server mutex.
 func (s *Server) finishLocked(e *entry, res *refrint.SweepResults, err error) {
@@ -257,7 +430,7 @@ func (s *Server) finishLocked(e *entry, res *refrint.SweepResults, err error) {
 	case err == nil:
 		e.state = StateDone
 		e.res = res
-		e.done = e.total
+		e.done.Store(e.total.Load())
 		s.cache.markCompleted(e)
 		s.cfg.Logf("sweep %s: done", e.key)
 	case errors.Is(err, context.Canceled) || e.ctx.Err() != nil:
@@ -281,6 +454,8 @@ func (s *Server) finishLocked(e *entry, res *refrint.SweepResults, err error) {
 		if j.startedAt.IsZero() && e.state == StateDone {
 			j.startedAt = now
 		}
+		j.freezeProgress()
+		s.publishJobLocked(j, string(j.state))
 	}
 	e.cancel() // release the context's resources in every path
 }
@@ -400,6 +575,7 @@ func (s *Server) submitJobLocked(req refrint.SweepRequest, opts sweep.Options, k
 			job.cacheHit = true
 			job.startedAt = job.createdAt
 			job.endedAt = job.createdAt
+			job.freezeProgress()
 			s.sweepCacheHits++
 		case StateRunning:
 			e.jobs = append(e.jobs, job)
@@ -430,10 +606,10 @@ func (s *Server) submitJobLocked(req refrint.SweepRequest, opts sweep.Options, k
 			cancel: cancel,
 			class:  entryClass,
 			state:  StateQueued,
-			total:  opts.Size(),
 			jobs:   []*Job{job},
 			refs:   1,
 		}
+		e.total.Store(int64(opts.Size()))
 		job.entry = e
 		h, ok := s.sched.Submit(key, req.Client, entryClass, e)
 		if !ok {
@@ -442,11 +618,18 @@ func (s *Server) submitJobLocked(req refrint.SweepRequest, opts sweep.Options, k
 		}
 		e.handle = h
 		s.cache.put(e)
-		s.cfg.Logf("sweep %s: queued %s (%d sims)", key, entryClass, e.total)
+		s.cfg.Logf("sweep %s: queued %s (%d sims)", key, entryClass, e.total.Load())
 	}
 	s.jobs[job.id] = job
 	s.jobOrder = append(s.jobOrder, job.id)
 	s.evictJobsLocked()
+	// Announce the newborn job (and, for a cache hit, its immediate
+	// completion) to firehose subscribers; nobody can be subscribed to the
+	// job's own topic before its id is returned.
+	s.publishJobLocked(job, eventState)
+	if job.state.Terminal() {
+		s.publishJobLocked(job, string(job.state))
+	}
 	return job, true
 }
 
@@ -503,8 +686,8 @@ func (s *Server) installDoneEntryLocked(key string, res *refrint.SweepResults) {
 		state:  StateDone,
 		res:    res,
 	}
-	e.total = res.Options.Size()
-	e.done = e.total
+	e.total.Store(int64(res.Options.Size()))
+	e.done.Store(e.total.Load())
 	s.cache.put(e)
 	s.cache.markCompleted(e)
 }
@@ -616,6 +799,8 @@ func (s *Server) cancelJobLocked(job *Job) *entry {
 	job.state = StateCancelled
 	job.err = context.Canceled
 	job.endedAt = time.Now()
+	job.freezeProgress()
+	s.publishJobLocked(job, string(StateCancelled))
 	e := job.entry
 	e.refs--
 	if e.refs > 0 {
