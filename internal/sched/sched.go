@@ -91,6 +91,22 @@ type Config struct {
 	// Weights are the weighted-round-robin dequeue shares per class
 	// (default DefaultWeights; minimum 1 each).
 	Weights [NumClasses]int
+	// AgeAfter, where positive, turns on queue-wait aging: an item queued
+	// longer than AgeAfter ages one class up (Background into Batch, Batch
+	// into Interactive) in place — same client FIFO slot in the target
+	// class, same Handle — so sustained urgent floods cannot starve queued
+	// low-priority work forever.  Aging respects the target class's Depth
+	// bound (a full class defers aging to a later scan) and restarts the
+	// item's wait clock, so a second hop needs another full AgeAfter.
+	AgeAfter time.Duration
+	// AgeInterval is how often the aging scan runs in Start's ticker
+	// (default AgeAfter/4, clamped to [10ms, 1s]).  Tests drive scans
+	// directly through AgeOnce instead.
+	AgeInterval time.Duration
+	// OnAge, when set, is invoked once per aged item — outside the
+	// scheduler mutex, so callbacks may call back into the scheduler or
+	// take their own locks.
+	OnAge func(payload any, from, to Class)
 	// Now is the clock used for scheduling-latency accounting (default
 	// time.Now; injectable for tests).
 	Now func() time.Time
@@ -194,6 +210,7 @@ type Scheduler struct {
 	queued  [NumClasses]int // live queued items per class, all workers
 	busy    int             // workers currently running an item
 	closed  bool
+	quit    chan struct{}  // closed by Close; stops the aging ticker
 	free    *item          // free list of recycled items
 	cqFree  []*clientQueue // free list of recycled client FIFOs
 	wg      sync.WaitGroup
@@ -201,6 +218,7 @@ type Scheduler struct {
 	steals    int64
 	waitSum   [NumClasses]time.Duration
 	waitCount [NumClasses]int64
+	aged      [NumClasses][NumClasses]int64 // [from][to] queue-wait promotions
 }
 
 // New builds a scheduler.  Call Start to spawn the workers (tests drive the
@@ -217,10 +235,13 @@ func New(cfg Config) *Scheduler {
 			cfg.Weights[c] = DefaultWeights[c]
 		}
 	}
+	if cfg.AgeAfter > 0 && cfg.AgeInterval <= 0 {
+		cfg.AgeInterval = min(max(cfg.AgeAfter/4, 10*time.Millisecond), time.Second)
+	}
 	if cfg.Now == nil {
 		cfg.Now = time.Now
 	}
-	s := &Scheduler{cfg: cfg}
+	s := &Scheduler{cfg: cfg, quit: make(chan struct{})}
 	s.cond = sync.NewCond(&s.mu)
 	s.workers = make([]*worker, cfg.Workers)
 	for i := range s.workers {
@@ -337,7 +358,8 @@ func (s *Scheduler) Promote(h Handle, to Class) (Handle, bool) {
 }
 
 // Start spawns the worker goroutines; run is invoked once per dequeued
-// payload.  Items submitted before Start simply wait.
+// payload.  Items submitted before Start simply wait.  With AgeAfter set it
+// also spawns the aging ticker, which stops when Close is called.
 func (s *Scheduler) Start(run func(payload any)) {
 	for i := 0; i < s.cfg.Workers; i++ {
 		s.wg.Add(1)
@@ -353,6 +375,22 @@ func (s *Scheduler) Start(run func(payload any)) {
 			}
 		}(i)
 	}
+	if s.cfg.AgeAfter > 0 {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			t := time.NewTicker(s.cfg.AgeInterval)
+			defer t.Stop()
+			for {
+				select {
+				case <-s.quit:
+					return
+				case <-t.C:
+					s.AgeOnce()
+				}
+			}
+		}()
+	}
 }
 
 // Close rejects further submissions, lets the workers drain every queued
@@ -360,7 +398,10 @@ func (s *Scheduler) Start(run func(payload any)) {
 // and waits for them to exit.
 func (s *Scheduler) Close() {
 	s.mu.Lock()
-	s.closed = true
+	if !s.closed {
+		s.closed = true
+		close(s.quit)
+	}
 	s.mu.Unlock()
 	s.cond.Broadcast()
 	s.wg.Wait()
@@ -381,6 +422,8 @@ type Stats struct {
 	// items spent in a class before Promote moved them out of it.
 	WaitSum   [NumClasses]time.Duration
 	WaitCount [NumClasses]int64
+	// Aged counts queue-wait aging promotions, indexed [from][to].
+	Aged [NumClasses][NumClasses]int64
 }
 
 // Stats returns a snapshot of the scheduler's counters.
@@ -394,6 +437,7 @@ func (s *Scheduler) Stats() Stats {
 		Steals:    s.steals,
 		WaitSum:   s.waitSum,
 		WaitCount: s.waitCount,
+		Aged:      s.aged,
 	}
 }
 
@@ -482,16 +526,22 @@ func (s *Scheduler) cancelLocked(it *item) {
 		s.releaseLocked(c.popBack())
 	}
 	if c.n == 0 {
-		for i, rc := range cq.ring {
-			if rc == c {
-				cq.ring = append(cq.ring[:i], cq.ring[i+1:]...)
-				if cq.next > i {
-					cq.next-- // keep the round-robin cursor stable
-				}
-				break
-			}
-		}
+		s.unringLocked(cq, c)
 		s.retireClientLocked(cq, c)
+	}
+}
+
+// unringLocked removes a client FIFO from its class's active ring, keeping
+// the round-robin cursor stable.
+func (s *Scheduler) unringLocked(cq *classQueue, c *clientQueue) {
+	for i, rc := range cq.ring {
+		if rc == c {
+			cq.ring = append(cq.ring[:i], cq.ring[i+1:]...)
+			if cq.next > i {
+				cq.next--
+			}
+			break
+		}
 	}
 }
 
@@ -641,4 +691,100 @@ func (s *Scheduler) done(it *item) {
 	s.busy--
 	s.releaseLocked(it)
 	s.mu.Unlock()
+}
+
+// --- queue-wait aging ---
+
+// agedItem records one aging promotion for the post-scan OnAge callbacks.
+type agedItem struct {
+	payload  any
+	from, to Class
+}
+
+// AgeOnce runs one aging scan: every item queued longer than AgeAfter moves
+// one class up (Background into Batch, Batch into Interactive), in place —
+// same item, so outstanding Handles stay valid; same client FIFO in the
+// target class, so the client keeps its fair-share slot; same worker homing.
+// It returns how many items aged, and is a no-op unless Config.AgeAfter is
+// positive.  Start runs this on a ticker; tests call it directly.
+func (s *Scheduler) AgeOnce() int {
+	if s.cfg.AgeAfter <= 0 {
+		return 0
+	}
+	s.mu.Lock()
+	aged := s.ageScanLocked(s.cfg.Now())
+	s.mu.Unlock()
+	if s.cfg.OnAge != nil {
+		for _, a := range aged {
+			s.cfg.OnAge(a.payload, a.from, a.to)
+		}
+	}
+	return len(aged)
+}
+
+// ageScanLocked finds and promotes every overdue queued item.  Batch ages
+// before Background, so an item cannot double-hop within one scan even
+// though its clock restarts on every hop.  Within one client FIFO items sit
+// in non-decreasing submit-time order (pushes append, and aged arrivals get
+// a fresh clock), so each scan stops at the first young front — aging
+// preserves the client's FIFO order in the target class.
+func (s *Scheduler) ageScanLocked(now time.Time) []agedItem {
+	var out []agedItem
+	for _, hop := range [...][2]Class{{Batch, Interactive}, {Background, Batch}} {
+		from, to := hop[0], hop[1]
+		if s.queued[from] == 0 {
+			continue
+		}
+		for _, w := range s.workers {
+			cq := &w.classes[from]
+			for ci := 0; ci < len(cq.ring); {
+				q := cq.ring[ci]
+				s.ageClientLocked(w, cq, q, from, to, now, &out)
+				// ageClientLocked retires a drained q from the ring; only
+				// advance while the slot still holds it.
+				if ci < len(cq.ring) && cq.ring[ci] == q {
+					ci++
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ageClientLocked moves q's overdue front items (oldest first) from class
+// from to class to, stopping at the first item still young enough or when
+// the target class has no capacity left — aging respects Depth bounds
+// exactly like Submit and Promote, deferring to a later scan instead of
+// overflowing.  It retires q when the move drains it.
+func (s *Scheduler) ageClientLocked(w *worker, cq *classQueue, q *clientQueue, from, to Class, now time.Time, out *[]agedItem) {
+	for {
+		for q.n > 0 && q.front().state == itemCancelled {
+			s.releaseLocked(q.popFront())
+		}
+		if q.n == 0 {
+			break
+		}
+		it := q.front()
+		if now.Sub(it.at) < s.cfg.AgeAfter || s.queued[to] >= s.cfg.Depth[to] {
+			break
+		}
+		q.popFront()
+		q.live--
+		cq.live--
+		w.live--
+		s.queued[from]--
+		// Like Promote: the wait so far is charged to the class being left
+		// and the clock restarts, so per-class latency stays truthful and a
+		// second hop needs another full AgeAfter.
+		s.waitSum[from] += now.Sub(it.at)
+		it.at = now
+		it.class = to
+		s.enqueueLocked(it)
+		s.aged[from][to]++
+		*out = append(*out, agedItem{payload: it.payload, from: from, to: to})
+	}
+	if q.n == 0 {
+		s.unringLocked(cq, q)
+		s.retireClientLocked(cq, q)
+	}
 }

@@ -148,6 +148,10 @@ func (s *Server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "batch needs at least one request")
 		return
 	}
+	if err := validateClient(breq.Client); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	defClass, err := classFor(breq.Priority, sched.Batch)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
@@ -165,6 +169,10 @@ func (s *Server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
 		if sub.Client == "" {
 			sub.Client = breq.Client
 		}
+		if err := validateClient(sub.Client); err != nil {
+			writeError(w, http.StatusBadRequest, "requests[%d]: %v", i, err)
+			return
+		}
 		class, err := classFor(sub.Priority, defClass)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, "requests[%d]: %v", i, err)
@@ -179,6 +187,20 @@ func (s *Server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
 			opts.Workers = s.cfg.SweepWorkers
 		}
 		plan = append(plan, planned{req: sub, opts: opts, key: opts.Key(), class: class})
+	}
+	// One token per request, charged to each request's effective client,
+	// all-or-nothing across the batch.
+	if s.quota != nil {
+		counts := make(map[string]int, 1)
+		for _, p := range plan {
+			counts[p.req.Client]++
+		}
+		if ok, denied, wait := s.quota.allowBatch(counts); !ok {
+			w.Header().Set("Retry-After", fmt.Sprint(retryAfterSeconds(wait)))
+			writeError(w, http.StatusTooManyRequests,
+				"client %q is over its submission rate, retry later", denied)
+			return
+		}
 	}
 	// Prime from the persistent store outside the lock, like handleSubmit:
 	// persisted sweeps must not consume queue capacity.  The results are
@@ -255,6 +277,7 @@ func (s *Server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		if free := s.sched.Free(sched.Class(class)) + freed[class]; n > free {
 			s.mu.Unlock()
+			w.Header().Set("Retry-After", fmt.Sprint(s.retryAfterHint(sched.Class(class))))
 			writeError(w, http.StatusServiceUnavailable,
 				"%s queue has %d free slots, batch needs %d; retry later",
 				sched.Class(class), free, n)
@@ -296,6 +319,7 @@ func (s *Server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
 			for _, e := range aborts {
 				e.cancel()
 			}
+			w.Header().Set("Retry-After", fmt.Sprint(s.retryAfterHint(p.class)))
 			writeError(w, http.StatusServiceUnavailable, "%s queue is full, retry later", p.class)
 			return
 		}
@@ -316,9 +340,9 @@ func (s *Server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
 	b.lastState = view.State
 	b.lastEventDone = view.Progress.Done
 	if s.bus.hasTopic(batchTopic(b.id)) {
-		s.bus.publish(eventState, batchTopic(b.id), int64(view.Progress.Done), view)
+		s.bus.publish(eventState, batchTopic(b.id), b.client, b.class, int64(view.Progress.Done), view)
 		if view.State.Terminal() {
-			s.bus.publish(string(view.State), batchTopic(b.id), int64(view.Progress.Done), view)
+			s.bus.publish(string(view.State), batchTopic(b.id), b.client, b.class, int64(view.Progress.Done), view)
 		}
 	}
 	s.evictBatchesLocked()

@@ -44,16 +44,30 @@ type entry struct {
 
 // resultCache indexes executions by canonical sweep key.  It holds both
 // in-flight entries (for singleflight deduplication) and completed ones (for
-// result reuse), evicting the oldest completed entries beyond the capacity.
-// Not safe for concurrent use: the server mutex guards it.
+// result reuse).  Eviction beyond the capacity is priority-aware: completed
+// background-class results go before batch before interactive, oldest first
+// within a class, so a flood of low-priority completions cannot wash an
+// interactive tenant's results out of the cache.  Not safe for concurrent
+// use: the server mutex guards it.
 type resultCache struct {
-	max       int
-	entries   map[string]*entry
-	completed []string // successfully-completed keys in completion order
+	max     int
+	entries map[string]*entry
+	// completed holds successfully-completed keys in completion order, one
+	// list per scheduling class of the execution that produced them.
+	completed [sched.NumClasses][]string
 }
 
 func newResultCache(max int) *resultCache {
 	return &resultCache{max: max, entries: make(map[string]*entry)}
+}
+
+// completedLen counts tracked completions across all classes.
+func (c *resultCache) completedLen() int {
+	n := 0
+	for _, l := range c.completed {
+		n += len(l)
+	}
+	return n
 }
 
 // lookup returns the usable entry for a key, if any.  An entry whose context
@@ -73,20 +87,34 @@ func (c *resultCache) lookup(key string) (*entry, bool) {
 // put registers a new in-flight entry.
 func (c *resultCache) put(e *entry) { c.entries[e.key] = e }
 
-// markCompleted records a successful completion, evicting the oldest
-// completed entries beyond capacity.
-func (c *resultCache) markCompleted(e *entry) {
+// markCompleted records a successful completion, evicting completed entries
+// beyond capacity — least urgent class first, oldest within a class.  It
+// returns the class of every entry actually evicted, for the server's
+// eviction-by-class counters.
+func (c *resultCache) markCompleted(e *entry) (evicted []sched.Class) {
 	if c.entries[e.key] != e {
-		return // superseded by a newer execution of the same key
+		return nil // superseded by a newer execution of the same key
 	}
-	c.completed = append(c.completed, e.key)
-	for c.max > 0 && len(c.completed) > c.max {
-		oldest := c.completed[0]
-		c.completed = c.completed[1:]
+	c.completed[e.class] = append(c.completed[e.class], e.key)
+	for c.max > 0 && c.completedLen() > c.max {
+		class := sched.Class(-1)
+		for cl := sched.NumClasses - 1; cl >= 0; cl-- {
+			if len(c.completed[cl]) > 0 {
+				class = sched.Class(cl)
+				break
+			}
+		}
+		if class < 0 {
+			break
+		}
+		oldest := c.completed[class][0]
+		c.completed[class] = c.completed[class][1:]
 		if old, ok := c.entries[oldest]; ok && old.state == StateDone {
 			delete(c.entries, oldest)
+			evicted = append(evicted, class)
 		}
 	}
+	return evicted
 }
 
 // drop removes an entry that will never yield a result (failed or

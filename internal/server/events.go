@@ -7,6 +7,8 @@ import (
 	"strconv"
 	"sync"
 	"time"
+
+	"refrint/internal/sched"
 )
 
 // This file is the streaming subsystem: a per-server event bus plus the SSE
@@ -51,6 +53,10 @@ type Event struct {
 	// progress and snapshot events; writers use it to keep the delivered
 	// progress sequence monotonic even across queue coalescing.
 	done int64
+	// client and class identify the tenant and scheduling class behind the
+	// event, so filtered firehose subscribers match without unmarshalling.
+	client string
+	class  sched.Class
 }
 
 // terminal reports whether the event ends its per-topic stream.
@@ -71,15 +77,40 @@ type progressEvent struct {
 func jobTopic(id string) string   { return "job:" + id }
 func batchTopic(id string) string { return "batch:" + id }
 
+// noClassFilter marks a firehose subscriber without a class filter.
+const noClassFilter = sched.Class(-1)
+
 // subscriber is one attached SSE client.
 type subscriber struct {
 	topic  string        // "job:<id>", "batch:<id>", or "" for the firehose
 	notify chan struct{} // cap-1 doorbell rung after every push
 	quit   chan struct{} // closed on unsubscribe or bus close
 
+	// Firehose filters (?client= and ?class=): hasClientFilter
+	// distinguishes "no filter" from an explicit ?client= selecting the
+	// anonymous tenant; filterClass is noClassFilter when unset.  Per-topic
+	// subscribers never filter.
+	filterClient    string
+	hasClientFilter bool
+	filterClass     sched.Class
+
 	mu      sync.Mutex
 	queue   []Event
 	dropped int64 // events dropped or coalesced away
+}
+
+// matches reports whether the subscriber wants the event.
+func (sub *subscriber) matches(ev Event) bool {
+	if sub.topic != "" {
+		return sub.topic == ev.Topic
+	}
+	if sub.hasClientFilter && ev.client != sub.filterClient {
+		return false
+	}
+	if sub.filterClass != noClassFilter && ev.class != sub.filterClass {
+		return false
+	}
+	return true
 }
 
 // push enqueues one event without ever blocking: progress events coalesce
@@ -136,36 +167,64 @@ func (sub *subscriber) drain(buf []Event) []Event {
 	return buf
 }
 
+// logMaxTopics bounds how many topics hold a replay log at once; the
+// longest-idle topic's log is discarded beyond it.  Logs also vanish when
+// their topic publishes a terminal event (the reconnect snapshot carries
+// closure), so in practice only live topics are logged.
+const logMaxTopics = 1024
+
 // eventBus fans state and progress events out to SSE subscribers.  It is a
 // leaf in the lock order: the server publishes while holding s.mu, so the
 // bus must never call back into the server.
+//
+// The bus also keeps a small bounded per-topic log of published events so a
+// subscriber reconnecting with Last-Event-ID mid-run resumes the deltas it
+// missed instead of only getting a fresh snapshot.  Replay is best-effort:
+// events are only logged while they have an audience (the hasTopic gate),
+// and the connect-time snapshot always covers whatever the log lost.
 type eventBus struct {
 	buffer int // per-subscriber queue bound
+	logMax int // per-topic replay-log bound (0 disables logging)
 
 	mu        sync.Mutex
 	subs      map[*subscriber]struct{}
+	logs      map[string][]Event
 	seq       int64
 	closed    bool
 	published int64
 	dropped   int64 // accumulated from departed subscribers
 }
 
-func newEventBus(buffer int) *eventBus {
-	return &eventBus{buffer: buffer, subs: make(map[*subscriber]struct{})}
+func newEventBus(buffer, logMax int) *eventBus {
+	return &eventBus{
+		buffer: buffer,
+		logMax: logMax,
+		subs:   make(map[*subscriber]struct{}),
+		logs:   make(map[string][]Event),
+	}
 }
 
 // subscribe attaches a new subscriber to one topic ("" = firehose).  It
 // reports false when the bus is already closed.
 func (b *eventBus) subscribe(topic string) (*subscriber, bool) {
+	return b.subscribeFiltered(topic, "", false, noClassFilter)
+}
+
+// subscribeFiltered is subscribe with firehose filters; they are fixed at
+// subscription time so no event can slip past a filter being installed.
+func (b *eventBus) subscribeFiltered(topic, client string, hasClient bool, class sched.Class) (*subscriber, bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.closed {
 		return nil, false
 	}
 	sub := &subscriber{
-		topic:  topic,
-		notify: make(chan struct{}, 1),
-		quit:   make(chan struct{}),
+		topic:           topic,
+		notify:          make(chan struct{}, 1),
+		quit:            make(chan struct{}),
+		filterClient:    client,
+		hasClientFilter: hasClient,
+		filterClass:     class,
 	}
 	b.subs[sub] = struct{}{}
 	return sub, true
@@ -185,17 +244,19 @@ func (b *eventBus) unsubscribe(sub *subscriber) {
 	b.mu.Unlock()
 }
 
-// publish fans one event out to every matching subscriber.  The payload is
-// marshalled at most once, and not at all when nobody is listening.
-func (b *eventBus) publish(name, topic string, done int64, payload any) {
+// publish fans one event out to every matching subscriber and records it in
+// the topic's replay log.  The payload is marshalled at most once, and not at
+// all when nobody is listening.
+func (b *eventBus) publish(name, topic, client string, class sched.Class, done int64, payload any) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.closed {
 		return
 	}
+	probe := Event{Name: name, Topic: topic, client: client, class: class}
 	matched := false
 	for sub := range b.subs {
-		if sub.topic == "" || sub.topic == topic {
+		if sub.matches(probe) {
 			matched = true
 			break
 		}
@@ -209,12 +270,58 @@ func (b *eventBus) publish(name, topic string, done int64, payload any) {
 	}
 	b.seq++
 	b.published++
-	ev := Event{ID: b.seq, Name: name, Topic: topic, Data: data, done: done}
+	ev := probe
+	ev.ID, ev.Data, ev.done = b.seq, data, done
+	b.logLocked(ev)
 	for sub := range b.subs {
-		if sub.topic == "" || sub.topic == topic {
+		if sub.matches(ev) {
 			sub.push(ev, b.buffer)
 		}
 	}
+}
+
+// logLocked appends one published event to its topic's bounded replay log.
+// A terminal event retires the whole log: the stream is over, and any later
+// reconnect gets closure from its connect-time snapshot instead.  Caller
+// holds the bus mutex.
+func (b *eventBus) logLocked(ev Event) {
+	if b.logMax <= 0 || ev.Topic == "" {
+		return
+	}
+	if ev.terminal() {
+		delete(b.logs, ev.Topic)
+		return
+	}
+	l, tracked := b.logs[ev.Topic]
+	if !tracked && len(b.logs) >= logMaxTopics {
+		// Discard the longest-idle topic's log (smallest last event ID).
+		idle, idleID := "", int64(0)
+		for t, tl := range b.logs {
+			if last := tl[len(tl)-1].ID; idle == "" || last < idleID {
+				idle, idleID = t, last
+			}
+		}
+		delete(b.logs, idle)
+	}
+	l = append(l, ev)
+	if len(l) > b.logMax {
+		l = l[len(l)-b.logMax:]
+	}
+	b.logs[ev.Topic] = l
+}
+
+// replay returns the logged events of one topic with IDs beyond afterID, in
+// publication order.
+func (b *eventBus) replay(topic string, afterID int64) []Event {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var out []Event
+	for _, ev := range b.logs[topic] {
+		if ev.ID > afterID {
+			out = append(out, ev)
+		}
+	}
+	return out
 }
 
 // nextID allocates an event ID for a handler-synthesized snapshot event, so
@@ -387,6 +494,26 @@ func (s *Server) streamTopic(w http.ResponseWriter, r *http.Request, topic, kind
 	}
 
 	sw := startSSE(w, r)
+	// A mid-run reconnect (Last-Event-ID set) first replays the logged
+	// events it missed, in order, then the fresh snapshot below.  The
+	// writer's monotonic progress filter absorbs any overlap between the
+	// replay's tail and the snapshot.  Dedup turns on only when the replay
+	// delivered something: it then suppresses queue/replay duplicates from
+	// the subscribe-before-snapshot window, while a stale or foreign
+	// Last-Event-ID (matching nothing in the log) cannot swallow the
+	// snapshot and terminal events that give every reconnect closure.
+	if sw.lastID > 0 {
+		replayed := s.bus.replay(topic, sw.lastID)
+		for _, ev := range replayed {
+			if sw.event(ev) != nil {
+				return
+			}
+		}
+		if n := len(replayed); n > 0 {
+			sw.dedup = true
+			sw.lastID = replayed[n-1].ID
+		}
+	}
 	state := Event{
 		ID: s.bus.nextID(), Name: eventState, Topic: topic,
 		Data: mustJSON(view), done: int64(done),
@@ -433,9 +560,27 @@ func (s *Server) handleBatchEvents(w http.ResponseWriter, r *http.Request) {
 
 // handleFirehose implements GET /v1/events: every event of every job and
 // batch, for dashboards.  The stream runs until the client disconnects or
-// the server closes; terminal events do not end it.
+// the server closes; terminal events do not end it.  ?client= narrows it to
+// one tenant's events (an empty value selects the anonymous tenant) and
+// ?class= to one scheduling class; both may be combined, so a multi-tenant
+// dashboard does not have to drink the whole firehose to watch one tenant.
 func (s *Server) handleFirehose(w http.ResponseWriter, r *http.Request) {
-	sub, ok := s.bus.subscribe("")
+	q := r.URL.Query()
+	client, hasClient := q.Get("client"), q.Has("client")
+	if err := validateClient(client); err != nil {
+		writeError(w, http.StatusBadRequest, "client: %v", err)
+		return
+	}
+	class := noClassFilter
+	if v := q.Get("class"); v != "" {
+		c, err := sched.ParseClass(v)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "class: %v", err)
+			return
+		}
+		class = c
+	}
+	sub, ok := s.bus.subscribeFiltered("", client, hasClient, class)
 	if !ok {
 		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
 		return

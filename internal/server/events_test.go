@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"refrint"
+	"refrint/internal/sched"
 	"refrint/internal/sweep"
 )
 
@@ -423,16 +424,16 @@ func TestSSEFirehose(t *testing.T) {
 // terminal events survive.
 func TestSlowSubscriberCoalescing(t *testing.T) {
 	const buffer = 4
-	b := newEventBus(buffer)
+	b := newEventBus(buffer, 0)
 	sub, ok := b.subscribe("job:x")
 	if !ok {
 		t.Fatal("subscribe failed on open bus")
 	}
-	b.publish(eventState, "job:x", 0, map[string]int{"s": 0})
+	b.publish(eventState, "job:x", "", sched.Interactive, 0, map[string]int{"s": 0})
 	for i := 1; i <= 100; i++ {
-		b.publish(eventProgress, "job:x", int64(i), map[string]int{"done": i})
+		b.publish(eventProgress, "job:x", "", sched.Interactive, int64(i), map[string]int{"done": i})
 	}
-	b.publish(string(StateDone), "job:x", 100, map[string]int{"done": 100})
+	b.publish(string(StateDone), "job:x", "", sched.Interactive, 100, map[string]int{"done": 100})
 
 	sub.mu.Lock()
 	depth := len(sub.queue)
@@ -465,7 +466,7 @@ func TestSlowSubscriberCoalescing(t *testing.T) {
 	if _, ok := b.subscribe("job:y"); ok {
 		t.Fatal("subscribe succeeded on closed bus")
 	}
-	b.publish(eventProgress, "job:x", 101, nil) // must be a no-op, not a panic
+	b.publish(eventProgress, "job:x", "", sched.Interactive, 101, nil) // must be a no-op, not a panic
 	select {
 	case <-sub.quit:
 	default:

@@ -3,6 +3,7 @@ package server
 import (
 	"fmt"
 	"net/http"
+	"sort"
 	"strings"
 	"time"
 
@@ -26,6 +27,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	batches := len(s.batches)
 	cached, inflight := s.cache.stats()
 	sweepHits, sweepMisses := s.sweepCacheHits, s.sweepCacheMisses
+	sweepEvicted := s.sweepCacheEvicted
 	s.foldSimRateLocked()
 	sims := s.simsCompleted.Load()
 	windowed := s.simRate.Rate()
@@ -56,6 +58,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	for c := sched.Class(0); c < sched.NumClasses; c++ {
 		fmt.Fprintf(&b, "refrint_sched_wait_seconds_count{class=%q} %d\n", c.String(), sst.WaitCount[c])
 	}
+	fmt.Fprintf(&b, "# HELP refrint_sched_aged_total Queued sweeps aged into a more urgent class after waiting past the age threshold.\n# TYPE refrint_sched_aged_total counter\n")
+	for to := sched.Class(0); to < sched.NumClasses-1; to++ {
+		from := to + 1
+		fmt.Fprintf(&b, "refrint_sched_aged_total{from=%q,to=%q} %d\n", from.String(), to.String(), sst.Aged[from][to])
+	}
 	gauge("refrint_sched_workers", "Worker goroutines executing sweeps.", sst.Workers)
 	gauge("refrint_sched_busy_workers", "Workers currently running a sweep.", sst.Busy)
 	gauge("refrint_batches", "Batches currently pollable.", batches)
@@ -69,6 +76,27 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	gauge("refrint_sweep_inflight", "Sweep executions currently queued or running.", inflight)
 	counter("refrint_sweep_cache_hits_total", "Submissions answered immediately from the sweep cache or store.", sweepHits)
 	counter("refrint_sweep_cache_misses_total", "Submissions that required a live execution.", sweepMisses)
+	fmt.Fprintf(&b, "# HELP refrint_sweep_cache_evicted_total Completed sweeps evicted from the in-memory cache, by the execution's priority class.\n# TYPE refrint_sweep_cache_evicted_total counter\n")
+	for c := sched.Class(0); c < sched.NumClasses; c++ {
+		fmt.Fprintf(&b, "refrint_sweep_cache_evicted_total{class=%q} %d\n", c.String(), sweepEvicted[c])
+	}
+
+	if byClient, throttledTotal := s.quota.stats(); s.quota != nil {
+		fmt.Fprintf(&b, "# HELP refrint_client_throttled_total Submissions rejected with 429 by the per-client rate limit.\n# TYPE refrint_client_throttled_total counter\n")
+		clients := make([]string, 0, len(byClient))
+		for c := range byClient {
+			clients = append(clients, c)
+		}
+		sort.Strings(clients)
+		for _, c := range clients {
+			fmt.Fprintf(&b, "refrint_client_throttled_total{client=%q} %d\n", c, byClient[c])
+		}
+		if len(byClient) == 0 {
+			// No throttles yet: expose the zero total so the series exists
+			// (and dashboards can rate() it) from the first scrape.
+			fmt.Fprintf(&b, "refrint_client_throttled_total{client=\"\"} %d\n", throttledTotal)
+		}
+	}
 
 	if st := s.cfg.Store; st != nil {
 		ss := st.Stats()
@@ -80,6 +108,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		gauge("refrint_store_bytes", "Bytes currently persisted in the store.", ss.Bytes)
 		counter("refrint_store_quarantined_total", "Blobs quarantined after failing verification.", ss.Quarantined)
 		counter("refrint_store_evictions_total", "Blobs evicted by the LRU byte budget.", ss.Evictions)
+		fmt.Fprintf(&b, "# HELP refrint_store_evictions_rank_total Blobs evicted by the LRU byte budget, by retention rank (0 = most retained).\n# TYPE refrint_store_evictions_rank_total counter\n")
+		for rank, n := range ss.EvictionsByRank {
+			fmt.Fprintf(&b, "refrint_store_evictions_rank_total{rank=\"%d\"} %d\n", rank, n)
+		}
 	}
 
 	gauge("refrint_event_subscribers", "Open SSE subscriptions (job, batch and firehose streams).", subs)

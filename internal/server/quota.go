@@ -1,0 +1,219 @@
+package server
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+)
+
+// This file is the admission-control layer: per-client token-bucket rate
+// limits on submissions, and validation of wire-supplied client labels.
+//
+// Client labels are arbitrary wire input that flows into scheduler maps,
+// quota buckets and /metrics label values, so they are bounded and
+// charset-checked at the door (validateClient); garbage gets HTTP 400.
+// Quotas are off by default: with Config.ClientRate set, every submission
+// charges its client's bucket one token per sweep request (a batch charges
+// len(requests)), and an empty bucket answers HTTP 429 with a Retry-After
+// hint telling a well-behaved client exactly when tokens will exist again.
+// Unlabeled submissions share the "" bucket, so anonymity is not a quota
+// escape hatch.
+
+// maxClientLabel bounds wire-supplied client labels.
+const maxClientLabel = 64
+
+// validateClient rejects client labels that are too long or stray outside a
+// printable, metrics-safe charset (letters, digits, and -_.:@/+).  The empty
+// label is fine: it is the anonymous tenant.
+func validateClient(s string) error {
+	if len(s) > maxClientLabel {
+		return fmt.Errorf("client label longer than %d bytes", maxClientLabel)
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '-', c == '_', c == '.', c == ':', c == '@', c == '/', c == '+':
+		default:
+			return fmt.Errorf("client label contains invalid byte %q (want letters, digits or -_.:@/+)", c)
+		}
+	}
+	return nil
+}
+
+// quotaMaxClients bounds how many client buckets are tracked at once; full
+// (idle) buckets beyond it are discarded — a full bucket reconstructs
+// losslessly on the client's next submission.
+const quotaMaxClients = 4096
+
+// throttleMaxClients bounds how many distinct client labels get their own
+// refrint_client_throttled_total series; beyond it, throttles are charged to
+// the "_other" label so a label-churning client cannot blow up metrics
+// cardinality.
+const throttleMaxClients = 64
+
+// bucket is one client's token bucket.
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// clientQuota rate-limits submissions per client label.  It has its own
+// mutex (not the server's): quota checks happen before a request touches
+// any server state, and throttled floods must not contend with the
+// scheduler.  A nil *clientQuota disables limiting entirely.
+type clientQuota struct {
+	rate  float64 // tokens per second
+	burst float64 // bucket capacity
+	now   func() time.Time
+
+	mu        sync.Mutex
+	buckets   map[string]*bucket
+	throttled map[string]int64 // per-client 429 counts for /metrics
+	total     int64            // all 429s, including labels folded to _other
+}
+
+// newClientQuota builds a quota tracker; rate <= 0 returns nil (disabled).
+func newClientQuota(rate float64, burst int, now func() time.Time) *clientQuota {
+	if rate <= 0 {
+		return nil
+	}
+	if burst <= 0 {
+		burst = int(math.Ceil(rate))
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &clientQuota{
+		rate:      rate,
+		burst:     math.Max(float64(burst), 1),
+		now:       now,
+		buckets:   make(map[string]*bucket),
+		throttled: make(map[string]int64),
+	}
+}
+
+// refillLocked returns the client's bucket refilled to now, creating it full
+// when first seen.  Caller holds the quota mutex.
+func (q *clientQuota) refillLocked(client string, now time.Time) *bucket {
+	b := q.buckets[client]
+	if b == nil {
+		b = &bucket{tokens: q.burst, last: now}
+		if len(q.buckets) >= quotaMaxClients {
+			q.sweepLocked()
+		}
+		q.buckets[client] = b
+		return b
+	}
+	b.tokens = math.Min(q.burst, b.tokens+q.rate*now.Sub(b.last).Seconds())
+	b.last = now
+	return b
+}
+
+// recordThrottleLocked counts one 429, folding untracked labels past the
+// cardinality bound into "_other".  Caller holds the quota mutex.
+func (q *clientQuota) recordThrottleLocked(client string) {
+	q.total++
+	label := client
+	if _, tracked := q.throttled[label]; !tracked && len(q.throttled) >= throttleMaxClients {
+		label = "_other"
+	}
+	q.throttled[label]++
+}
+
+// waitFor is the time until the bucket holds a charge of need tokens.  A
+// charge beyond burst can never succeed; hint the burst refill so clients
+// back off hard rather than retrying a request that cannot be admitted.
+func (q *clientQuota) waitFor(b *bucket, need float64) time.Duration {
+	wait := (math.Min(need, q.burst) - b.tokens) / q.rate
+	return time.Duration(wait * float64(time.Second))
+}
+
+// allow charges n tokens to the client's bucket.  When the bucket cannot
+// cover the charge it reports false with the wait until it could — the
+// Retry-After hint — and records the throttle.  A nil quota always allows.
+func (q *clientQuota) allow(client string, n int) (ok bool, retryAfter time.Duration) {
+	if q == nil {
+		return true, 0
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	b := q.refillLocked(client, q.now())
+	need := float64(n)
+	if b.tokens >= need {
+		b.tokens -= need
+		return true, 0
+	}
+	q.recordThrottleLocked(client)
+	return false, q.waitFor(b, need)
+}
+
+// allowBatch charges several clients at once — counts maps each client label
+// to its token charge — atomically: either every bucket covers its charge and
+// all are debited, or nothing is debited and the denied client with the
+// longest refill wait is reported.  Atomicity matches the batch endpoint's
+// all-or-nothing admission: a rejected batch must not burn anyone's tokens.
+// A nil quota always allows.
+func (q *clientQuota) allowBatch(counts map[string]int) (ok bool, denied string, retryAfter time.Duration) {
+	if q == nil {
+		return true, "", 0
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	now := q.now()
+	found := false
+	for client, n := range counts {
+		b := q.refillLocked(client, now)
+		if need := float64(n); b.tokens < need {
+			if wait := q.waitFor(b, need); !found || wait > retryAfter {
+				found, denied, retryAfter = true, client, wait
+			}
+		}
+	}
+	if found {
+		q.recordThrottleLocked(denied)
+		return false, denied, retryAfter
+	}
+	for client, n := range counts {
+		q.buckets[client].tokens -= float64(n)
+	}
+	return true, "", 0
+}
+
+// sweepLocked discards full (hence idle) buckets so the map stays bounded
+// under client-label churn.  A client whose bucket is discarded mid-refill
+// gets a fresh full bucket next time — a bounded, one-burst-sized kindness.
+func (q *clientQuota) sweepLocked() {
+	for c, b := range q.buckets {
+		refilled := math.Min(q.burst, b.tokens+q.rate*q.now().Sub(b.last).Seconds())
+		if refilled >= q.burst {
+			delete(q.buckets, c)
+		}
+	}
+}
+
+// stats snapshots the throttle counters for /metrics: per-tracked-label
+// counts and the overall total.
+func (q *clientQuota) stats() (byClient map[string]int64, total int64) {
+	if q == nil {
+		return nil, 0
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	byClient = make(map[string]int64, len(q.throttled))
+	for c, n := range q.throttled {
+		byClient[c] = n
+	}
+	return byClient, q.total
+}
+
+// retryAfterSeconds renders a Retry-After header value: whole seconds,
+// rounded up, at least 1.
+func retryAfterSeconds(d time.Duration) int {
+	s := int(math.Ceil(d.Seconds()))
+	if s < 1 {
+		s = 1
+	}
+	return s
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"runtime"
 	"sync"
@@ -70,6 +71,25 @@ type Config struct {
 	// counters are folded into the windowed sims/sec gauge and published
 	// as SSE progress events (default 100ms).
 	ProgressInterval time.Duration
+	// ClientRate, where positive, rate-limits submissions per client label:
+	// each client's token bucket refills at ClientRate tokens/second, a
+	// sweep submission costs one token and a batch costs one per request.
+	// Over-quota submissions get HTTP 429 with a Retry-After hint.  The
+	// default (0) disables quotas.
+	ClientRate float64
+	// ClientBurst is the token-bucket capacity per client (default
+	// ceil(ClientRate), minimum 1).  Batches larger than the burst can
+	// never be admitted for a rate-limited client.
+	ClientBurst int
+	// AgeAfter, where positive, turns on queue-wait aging in the scheduler:
+	// a sweep queued longer than AgeAfter ages one class up (background
+	// into batch, batch into interactive) without losing its client
+	// fair-share slot, so interactive floods cannot starve queued
+	// low-priority work forever.  The default (0) disables aging.
+	AgeAfter time.Duration
+	// EventLog bounds the per-topic SSE event log used to replay missed
+	// events on Last-Event-ID reconnects (default 64 events per topic).
+	EventLog int
 	// Execute runs a sweep (default sweep.ExecuteContext).
 	Execute ExecuteFunc
 	// Store, when set, persists completed sweeps and individual simulation
@@ -113,6 +133,9 @@ func (c Config) withDefaults() Config {
 	if c.ProgressInterval <= 0 {
 		c.ProgressInterval = 100 * time.Millisecond
 	}
+	if c.EventLog <= 0 {
+		c.EventLog = 64
+	}
 	if c.Execute == nil {
 		c.Execute = func(ctx context.Context, opts sweep.Options, progress func(sweep.Progress)) (*refrint.SweepResults, error) {
 			return sweep.ExecuteContext(ctx, opts, progress)
@@ -154,8 +177,12 @@ type Server struct {
 	closed      bool
 
 	// Metrics counters (see handleMetrics).
-	sweepCacheHits   int64 // submissions answered done immediately (memory or store)
-	sweepCacheMisses int64 // submissions that enqueued or attached to a live execution
+	sweepCacheHits    int64                   // submissions answered done immediately (memory or store)
+	sweepCacheMisses  int64                   // submissions that enqueued or attached to a live execution
+	sweepCacheEvicted [sched.NumClasses]int64 // result-cache evictions by execution class
+	// quota is the per-client admission limiter (nil with quotas off).  It
+	// has its own mutex and is checked before s.mu is ever taken.
+	quota *clientQuota
 
 	// simsCompleted counts simulations finished across all sweeps (cell
 	// hits included).  It is an atomic, NOT guarded by mu: the per-sim
@@ -176,19 +203,33 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:       cfg,
 		mux:       http.NewServeMux(),
-		bus:       newEventBus(cfg.EventBuffer),
+		bus:       newEventBus(cfg.EventBuffer, cfg.EventLog),
 		jobs:      make(map[string]*Job),
 		batches:   make(map[string]*Batch),
 		cache:     newResultCache(cfg.CacheEntries),
 		startedAt: time.Now(),
 		simRate:   newRateWindow(time.Minute, time.Now),
 		loopDone:  make(chan struct{}),
+		quota:     newClientQuota(cfg.ClientRate, cfg.ClientBurst, time.Now),
 	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	s.sched = sched.New(sched.Config{
-		Workers: cfg.Shards,
-		Depth:   cfg.ClassQueueDepth,
-		Weights: cfg.ClassWeights,
+		Workers:  cfg.Shards,
+		Depth:    cfg.ClassQueueDepth,
+		Weights:  cfg.ClassWeights,
+		AgeAfter: cfg.AgeAfter,
+		// Keep the server's view of an aged execution's class in sync.  The
+		// callback runs outside the scheduler mutex, so taking s.mu here
+		// respects the s.mu -> sched lock order.
+		OnAge: func(payload any, from, to sched.Class) {
+			e := payload.(*entry)
+			s.mu.Lock()
+			if !e.state.Terminal() && to < e.class {
+				e.class = to
+			}
+			s.mu.Unlock()
+			s.cfg.Logf("sweep %s: aged %s -> %s after queue wait", e.key, from, to)
+		},
 	})
 	s.sched.Start(func(payload any) { s.runEntry(payload.(*entry)) })
 	go func() {
@@ -258,15 +299,18 @@ func (s *Server) runEntry(e *entry) {
 			s.publishJobLocked(j, eventState)
 		}
 	}
+	class := e.class
 	s.mu.Unlock()
 	s.cfg.Logf("sweep %s: running (%d sims)", e.key, e.total.Load())
 
 	// With a store attached, individual cells already computed by earlier
 	// (possibly different) sweeps are served from it instead of simulating,
-	// and fresh cells are persisted as they complete.
+	// and fresh cells are persisted as they complete.  Persisted artifacts
+	// carry the execution's class as their eviction rank, so when the store
+	// fills, background results go before batch before interactive.
 	opts := e.opts
 	if st := s.cfg.Store; st != nil {
-		opts.CellLookup, opts.CellPut = st.CellHooks(s.cfg.Logf)
+		opts.CellLookup, opts.CellPut = st.CellHooksRanked(int(class), s.cfg.Logf)
 	}
 
 	res, err := s.cfg.Execute(e.ctx, opts, s.progressCallback(e))
@@ -276,7 +320,7 @@ func (s *Server) runEntry(e *entry) {
 	// handlers or progress callbacks — and once a job is observably done,
 	// its result is already durable.
 	if err == nil && s.cfg.Store != nil {
-		if perr := s.cfg.Store.Put(store.KindSweep, e.key, res); perr != nil {
+		if perr := s.cfg.Store.PutRanked(store.KindSweep, e.key, int(class), res); perr != nil {
 			s.cfg.Logf("store: persisting sweep %s: %v", e.key, perr)
 		}
 	}
@@ -370,7 +414,7 @@ func (s *Server) publishJobLocked(j *Job, name string) {
 		return
 	}
 	view := j.snapshot()
-	s.bus.publish(name, jobTopic(j.id), int64(view.Progress.Done), view)
+	s.bus.publish(name, jobTopic(j.id), j.request.Client, j.class, int64(view.Progress.Done), view)
 }
 
 // publishJobProgressLocked emits a slim progress event when the job's live
@@ -385,7 +429,7 @@ func (s *Server) publishJobProgressLocked(j *Job) {
 		return
 	}
 	j.lastEventDone = done
-	s.bus.publish(eventProgress, jobTopic(j.id), int64(done), progressEvent{
+	s.bus.publish(eventProgress, jobTopic(j.id), j.request.Client, j.class, int64(done), progressEvent{
 		ID: j.id, Kind: "sweep", State: j.state,
 		Progress: progressView(done, total, j.state),
 	})
@@ -408,12 +452,12 @@ func (s *Server) publishBatchLocked(b *Batch) {
 		}
 		b.lastState = view.State
 		b.lastEventDone = view.Progress.Done
-		s.bus.publish(name, batchTopic(b.id), int64(view.Progress.Done), view)
+		s.bus.publish(name, batchTopic(b.id), b.client, b.class, int64(view.Progress.Done), view)
 		return // the state event carries the progress; skip a duplicate
 	}
 	if view.Progress.Done != b.lastEventDone {
 		b.lastEventDone = view.Progress.Done
-		s.bus.publish(eventProgress, batchTopic(b.id), int64(view.Progress.Done), progressEvent{
+		s.bus.publish(eventProgress, batchTopic(b.id), b.client, b.class, int64(view.Progress.Done), progressEvent{
 			ID: b.id, Kind: "batch", State: view.State, Progress: view.Progress,
 		})
 	}
@@ -431,7 +475,9 @@ func (s *Server) finishLocked(e *entry, res *refrint.SweepResults, err error) {
 		e.state = StateDone
 		e.res = res
 		e.done.Store(e.total.Load())
-		s.cache.markCompleted(e)
+		for _, cl := range s.cache.markCompleted(e) {
+			s.sweepCacheEvicted[cl]++
+		}
 		s.cfg.Logf("sweep %s: done", e.key)
 	case errors.Is(err, context.Canceled) || e.ctx.Err() != nil:
 		e.state = StateCancelled
@@ -479,6 +525,22 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
 }
 
+// retryAfterHint estimates, in whole seconds, how soon a full class queue is
+// likely to have room: queued work divided by the class's observed drain rate
+// since startup, clamped to [1s, 60s].  Before any dequeue has been observed
+// the hint is a flat 5s.  It is a hint for well-behaved clients, not a
+// promise — admission is still first-come when capacity frees up.
+func (s *Server) retryAfterHint(class sched.Class) int {
+	st := s.sched.Stats()
+	uptime := time.Since(s.startedAt).Seconds()
+	if st.WaitCount[class] <= 0 || uptime <= 0 {
+		return 5
+	}
+	rate := float64(st.WaitCount[class]) / uptime // dequeues per second
+	hint := int(math.Ceil(float64(st.Queued[class]) / rate))
+	return min(max(hint, 1), 60)
+}
+
 // classFor resolves an optional wire priority label, falling back to def.
 func classFor(label string, def sched.Class) (sched.Class, error) {
 	if label == "" {
@@ -498,6 +560,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "invalid request body: %v", err)
 		return
 	}
+	if err := validateClient(req.Client); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	class, err := classFor(req.Priority, sched.Interactive)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
@@ -506,6 +572,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	opts, err := req.Options()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if ok, wait := s.quota.allow(req.Client, 1); !ok {
+		w.Header().Set("Retry-After", fmt.Sprint(retryAfterSeconds(wait)))
+		writeError(w, http.StatusTooManyRequests,
+			"client %q is over its submission rate, retry later", req.Client)
 		return
 	}
 	if s.cfg.SweepWorkers > 0 && opts.Workers > s.cfg.SweepWorkers {
@@ -526,6 +598,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	job, ok := s.submitJobLocked(req, opts, key, class, class)
 	if !ok {
 		s.mu.Unlock()
+		w.Header().Set("Retry-After", fmt.Sprint(s.retryAfterHint(class)))
 		writeError(w, http.StatusServiceUnavailable, "%s queue is full, retry later", class)
 		return
 	}
@@ -683,13 +756,18 @@ func (s *Server) installDoneEntryLocked(key string, res *refrint.SweepResults) {
 		opts:   res.Options,
 		ctx:    context.Background(),
 		cancel: func() {},
-		state:  StateDone,
-		res:    res,
+		// Revived results are already durable in the store, so they are the
+		// cheapest thing in the cache to lose: rank them for eviction first.
+		class: sched.Background,
+		state: StateDone,
+		res:   res,
 	}
 	e.total.Store(int64(res.Options.Size()))
 	e.done.Store(e.total.Load())
 	s.cache.put(e)
-	s.cache.markCompleted(e)
+	for _, cl := range s.cache.markCompleted(e) {
+		s.sweepCacheEvicted[cl]++
+	}
 }
 
 // evictJobsLocked forgets the oldest terminal jobs beyond the history

@@ -16,9 +16,12 @@
 // store degrades to cache misses without losing evidence.
 //
 // The disk footprint is bounded by an LRU-bytes budget: when a put pushes
-// the total past the budget, the least-recently-used blobs are deleted until
-// it fits.  An in-memory front keeps recently used payloads decoded-free
-// (raw bytes) so repeated lookups of hot keys skip the filesystem.
+// the total past the budget, blobs are deleted until it fits — highest
+// eviction rank first (PutRanked; the sweep service maps scheduling classes
+// to ranks so interactive-class results outlive background ones), least
+// recently used within a rank.  An in-memory front keeps recently used
+// payloads decoded-free (raw bytes) so repeated lookups of hot keys skip the
+// filesystem.
 //
 // The store is safe for concurrent use by multiple goroutines of one
 // process.  It does not coordinate between processes: run one server per
@@ -58,6 +61,12 @@ const (
 )
 
 func (k Kind) valid() bool { return k == KindSweep || k == KindCell }
+
+// NumRanks is how many eviction ranks the store tracks counters for.  Ranks
+// are small non-negative integers; higher ranks evict first.  Rank 0 (the
+// plain Put default, and what blobs written before ranks existed load as) is
+// the most retained.
+const NumRanks = 3
 
 // Options tunes a Store.  The zero value is usable.
 type Options struct {
@@ -102,8 +111,11 @@ type Stats struct {
 	CellMisses  int64
 	// Quarantined counts blobs moved aside after failing verification.
 	Quarantined int64
-	// Evictions counts blobs deleted by the LRU-bytes budget.
-	Evictions int64
+	// Evictions counts blobs deleted by the LRU-bytes budget;
+	// EvictionsByRank splits them by eviction rank (ranks beyond NumRanks-1
+	// fold into the last bucket).
+	Evictions       int64
+	EvictionsByRank [NumRanks]int64
 }
 
 // envelope is the on-disk form of one blob.
@@ -121,6 +133,7 @@ type entry struct {
 	key    string
 	bytes  int64
 	access int64 // logical LRU clock; higher = more recent
+	rank   int   // eviction rank; higher ranks evict first
 }
 
 // Store is a persistent result store.  Open one with Open; it must not be
@@ -189,17 +202,28 @@ func (s *Store) Stats() Stats {
 	return st
 }
 
-// Put persists payload under (kind, key), replacing any previous blob, and
-// evicts least-recently-used blobs if the byte budget is exceeded.  The key
+// Put persists payload under (kind, key) at rank 0 (most retained).  See
+// PutRanked.
+func (s *Store) Put(kind Kind, key string, payload any) error {
+	return s.PutRanked(kind, key, 0, payload)
+}
+
+// PutRanked persists payload under (kind, key), replacing any previous blob,
+// and evicts blobs if the byte budget is exceeded — highest rank first,
+// least recently used within a rank, so low-rank (urgent-class) results
+// outlive high-rank ones under byte pressure regardless of recency.  The key
 // must be non-empty and path-safe (content hashes are).  The file write
 // happens outside the store mutex; concurrent puts of one key are safe
 // because keys are content-addressed — both writers carry identical bytes.
-func (s *Store) Put(kind Kind, key string, payload any) error {
+func (s *Store) PutRanked(kind Kind, key string, rank int, payload any) error {
 	if !kind.valid() {
 		return fmt.Errorf("store: unknown kind %q", kind)
 	}
 	if err := validKey(key); err != nil {
 		return err
+	}
+	if rank < 0 {
+		rank = 0
 	}
 	raw, err := json.Marshal(payload)
 	if err != nil {
@@ -231,7 +255,7 @@ func (s *Store) Put(kind Kind, key string, payload any) error {
 		s.bytes -= old.bytes
 	}
 	s.clock++
-	s.entries[ck] = &entry{kind: kind, key: key, bytes: int64(len(blob)), access: s.clock}
+	s.entries[ck] = &entry{kind: kind, key: key, bytes: int64(len(blob)), access: s.clock, rank: rank}
 	s.bytes += int64(len(blob))
 	s.memPutLocked(ck, raw)
 	s.evictLocked(ck)
@@ -302,11 +326,18 @@ func (s *Store) count(kind Kind, hit bool) {
 	}
 }
 
-// CellHooks returns the sweep cell-cache hooks backed by this store, ready
-// to install as sweep.Options.CellLookup and CellPut: lookups read (and
-// verify) persisted cells, puts persist fresh ones, and put errors are
-// reported to logf (nil for silent) rather than failing the sweep.
+// CellHooks returns the sweep cell-cache hooks backed by this store at rank
+// 0.  See CellHooksRanked.
 func (s *Store) CellHooks(logf func(format string, args ...any)) (lookup func(sweep.CellKey) (sim.Result, bool), put func(sweep.CellKey, sim.Result)) {
+	return s.CellHooksRanked(0, logf)
+}
+
+// CellHooksRanked returns the sweep cell-cache hooks backed by this store,
+// ready to install as sweep.Options.CellLookup and CellPut: lookups read
+// (and verify) persisted cells, puts persist fresh ones at the given
+// eviction rank, and put errors are reported to logf (nil for silent) rather
+// than failing the sweep.
+func (s *Store) CellHooksRanked(rank int, logf func(format string, args ...any)) (lookup func(sweep.CellKey) (sim.Result, bool), put func(sweep.CellKey, sim.Result)) {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
@@ -318,7 +349,7 @@ func (s *Store) CellHooks(logf func(format string, args ...any)) (lookup func(sw
 		return sim.Result{}, false
 	}
 	put = func(k sweep.CellKey, res sim.Result) {
-		if err := s.Put(KindCell, k.Hash(), sweep.CellResult{Key: k, Result: res}); err != nil {
+		if err := s.PutRanked(KindCell, k.Hash(), rank, sweep.CellResult{Key: k, Result: res}); err != nil {
 			logf("store: persisting cell %s: %v", k.Hash(), err)
 		}
 	}
@@ -441,9 +472,10 @@ func (s *Store) dropLocked(e *entry) {
 	}
 }
 
-// evictLocked deletes least-recently-used blobs until the byte budget is
-// met.  The blob named by keep (the one just written) is evicted last, so a
-// single oversized blob still persists.
+// evictLocked deletes blobs until the byte budget is met: the victim is the
+// highest-rank entry (background-class results go first), least recently
+// used within that rank.  The blob named by keep (the one just written) is
+// evicted last, so a single oversized blob still persists.
 func (s *Store) evictLocked(keep string) {
 	for s.bytes > s.opt.MaxBytes && len(s.entries) > 1 {
 		var victim *entry
@@ -451,7 +483,8 @@ func (s *Store) evictLocked(keep string) {
 			if ck == keep {
 				continue
 			}
-			if victim == nil || e.access < victim.access {
+			if victim == nil || e.rank > victim.rank ||
+				(e.rank == victim.rank && e.access < victim.access) {
 				victim = e
 			}
 		}
@@ -463,7 +496,8 @@ func (s *Store) evictLocked(keep string) {
 		}
 		s.dropLocked(victim)
 		s.stats.Evictions++
-		s.opt.Logf("store: evicted %s/%s (%d bytes)", victim.kind, victim.key, victim.bytes)
+		s.stats.EvictionsByRank[min(victim.rank, NumRanks-1)]++
+		s.opt.Logf("store: evicted %s/%s (rank %d, %d bytes)", victim.kind, victim.key, victim.rank, victim.bytes)
 	}
 	// Deleted files leave the on-disk index stale until the next batched
 	// write (reconcile-on-open heals a crash in that window); rewriting it
@@ -600,6 +634,9 @@ type indexEntry struct {
 	Key    string `json:"key"`
 	Bytes  int64  `json:"bytes"`
 	Access int64  `json:"access"`
+	// Rank is the eviction rank (omitted for rank 0, so indexes written
+	// before ranks existed load as most-retained).
+	Rank int `json:"rank,omitempty"`
 }
 
 func (s *Store) indexPath() string { return filepath.Join(s.dir, versionDir, "index.json") }
@@ -625,7 +662,7 @@ func (s *Store) maybeWriteIndexLocked() error {
 func (s *Store) writeIndexLocked() error {
 	idx := indexFile{Version: Version, Clock: s.clock}
 	for _, e := range s.entries {
-		idx.Entries = append(idx.Entries, indexEntry{Kind: e.kind, Key: e.key, Bytes: e.bytes, Access: e.access})
+		idx.Entries = append(idx.Entries, indexEntry{Kind: e.kind, Key: e.key, Bytes: e.bytes, Access: e.access, Rank: e.rank})
 	}
 	sort.Slice(idx.Entries, func(i, j int) bool {
 		if idx.Entries[i].Kind != idx.Entries[j].Kind {
@@ -683,6 +720,7 @@ func (s *Store) loadIndex() error {
 			e := &entry{kind: kind, key: key, bytes: info.Size()}
 			if rec, ok := recorded[ck]; ok {
 				e.access = rec.Access
+				e.rank = max(rec.Rank, 0)
 			}
 			s.entries[ck] = e
 			s.bytes += e.bytes

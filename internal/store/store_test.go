@@ -349,3 +349,91 @@ func TestIndexIsValidJSON(t *testing.T) {
 		t.Errorf("index = %+v", idx)
 	}
 }
+
+// TestRankedEviction pins priority-aware eviction: under byte pressure,
+// high-rank (background-class) blobs evict before low-rank (interactive)
+// ones regardless of recency, LRU within a rank, and the by-rank counters
+// record who went.
+func TestRankedEviction(t *testing.T) {
+	probe := open(t, t.TempDir(), Options{})
+	if err := probe.Put(KindCell, key(0), testPayload(0)); err != nil {
+		t.Fatal(err)
+	}
+	blobBytes := probe.Stats().Bytes
+
+	s := open(t, t.TempDir(), Options{MaxBytes: 3*blobBytes + blobBytes/2})
+	// The interactive blob is the OLDEST — pure LRU would evict it first.
+	if err := s.PutRanked(KindCell, key(1), 0, testPayload(1)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 2; i <= 5; i++ {
+		if err := s.PutRanked(KindCell, key(i), 2, testPayload(i)); err != nil {
+			t.Fatalf("Put %d: %v", i, err)
+		}
+	}
+	var got payload
+	if !s.Get(KindCell, key(1), &got) {
+		t.Error("old interactive-rank blob evicted while background-rank blobs remained")
+	}
+	if s.Get(KindCell, key(2), &got) {
+		t.Error("oldest background-rank blob survived byte pressure")
+	}
+	st := s.Stats()
+	if st.Evictions == 0 || st.EvictionsByRank[2] != st.Evictions {
+		t.Errorf("evictions = %d, by rank = %v; want all charged to rank 2", st.Evictions, st.EvictionsByRank)
+	}
+	if st.EvictionsByRank[0] != 0 {
+		t.Errorf("rank-0 evictions = %d, want 0", st.EvictionsByRank[0])
+	}
+
+	// Within one rank, LRU still applies: touch the older surviving rank-2
+	// blob and the next put evicts the colder one.
+	if !s.Get(KindCell, key(4), &got) {
+		t.Fatal("key 4 unexpectedly evicted")
+	}
+	if err := s.PutRanked(KindCell, key(6), 2, testPayload(6)); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Get(KindCell, key(4), &got) {
+		t.Error("recently touched rank-2 blob evicted before colder sibling")
+	}
+	if s.Get(KindCell, key(5), &got) {
+		t.Error("cold rank-2 blob survived while the budget was exceeded")
+	}
+}
+
+// TestRankSurvivesRestart verifies ranks round-trip through the index: a
+// reopened store still evicts high-rank blobs first.
+func TestRankSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	probe := open(t, t.TempDir(), Options{})
+	if err := probe.Put(KindCell, key(0), testPayload(0)); err != nil {
+		t.Fatal(err)
+	}
+	blobBytes := probe.Stats().Bytes
+
+	s1 := open(t, dir, Options{MaxBytes: 100 * blobBytes})
+	if err := s1.PutRanked(KindCell, key(1), 0, testPayload(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.PutRanked(KindCell, key(2), 2, testPayload(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := open(t, dir, Options{MaxBytes: 2*blobBytes + blobBytes/2})
+	// Opening does not evict; the next put triggers the budget check and the
+	// rank-2 blob must go first even though the rank-0 one is older.
+	if err := s2.PutRanked(KindCell, key(3), 1, testPayload(3)); err != nil {
+		t.Fatal(err)
+	}
+	var got payload
+	if !s2.Get(KindCell, key(1), &got) {
+		t.Error("rank-0 blob evicted after restart while a rank-2 blob remained")
+	}
+	if s2.Get(KindCell, key(2), &got) {
+		t.Error("rank-2 blob survived after restart under byte pressure")
+	}
+}
