@@ -454,7 +454,12 @@ func (s *Scheduler) Queued() int {
 
 // Free returns the remaining queue capacity of a class.  It is a snapshot:
 // callers that need check-then-submit atomicity (the batch endpoint) must
-// serialize their submissions externally — dequeues only ever increase it.
+// serialize their submissions externally.  Dequeues only ever increase it,
+// but queue-wait aging (Config.AgeAfter) moves queued items between classes
+// asynchronously and can consume a class's capacity between a Free check and
+// the Submit it gated — so even a serialized caller must tolerate a
+// full-queue Submit after a passing check (the batch endpoint aborts the
+// whole batch and answers 503).
 func (s *Scheduler) Free(class Class) int {
 	s.mu.Lock()
 	defer s.mu.Unlock()

@@ -189,13 +189,18 @@ func (s *Server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
 		plan = append(plan, planned{req: sub, opts: opts, key: opts.Key(), class: class})
 	}
 	// One token per request, charged to each request's effective client,
-	// all-or-nothing across the batch.
+	// all-or-nothing across the batch.  The charge lands here, at submission
+	// time — members later served from cache still count; this is a
+	// submission-rate limit — but every path below that turns the whole
+	// batch away with 503 refunds `charged`, so a capacity-rejected batch
+	// burns nobody's tokens.
+	var charged map[string]int
 	if s.quota != nil {
-		counts := make(map[string]int, 1)
+		charged = make(map[string]int, 1)
 		for _, p := range plan {
-			counts[p.req.Client]++
+			charged[p.req.Client]++
 		}
-		if ok, denied, wait := s.quota.allowBatch(counts); !ok {
+		if ok, denied, wait := s.quota.allowBatch(charged); !ok {
 			w.Header().Set("Retry-After", fmt.Sprint(retryAfterSeconds(wait)))
 			writeError(w, http.StatusTooManyRequests,
 				"client %q is over its submission rate, retry later", denied)
@@ -221,6 +226,7 @@ func (s *Server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
+		s.quota.refund(charged)
 		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
 		return
 	}
@@ -233,9 +239,12 @@ func (s *Server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
 	// target class and frees one in the class it leaves; the freed slot is
 	// credited, and promotions are applied up front (most urgent target
 	// first) so everything they free is free before any member submits.
-	// All submissions are serialized under s.mu, and dequeues only ever
-	// free capacity, so check-then-apply cannot be raced into a partial
-	// admission.
+	// All submissions are serialized under s.mu and dequeues only ever free
+	// capacity, but queue-wait aging moves queued items between classes
+	// asynchronously and can consume a class's slots between this check and
+	// the submits below.  That race is tolerated rather than prevented: a
+	// mid-submit overflow aborts the whole batch (no partial admission),
+	// answers 503 and refunds the quota tokens.
 	effClass := make(map[string]sched.Class, len(plan))
 	for _, p := range plan {
 		if c, ok := effClass[p.key]; !ok || p.class < c {
@@ -277,6 +286,7 @@ func (s *Server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		if free := s.sched.Free(sched.Class(class)) + freed[class]; n > free {
 			s.mu.Unlock()
+			s.quota.refund(charged)
 			w.Header().Set("Retry-After", fmt.Sprint(s.retryAfterHint(sched.Class(class))))
 			writeError(w, http.StatusServiceUnavailable,
 				"%s queue has %d free slots, batch needs %d; retry later",
@@ -310,15 +320,17 @@ func (s *Server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		job, ok := s.submitJobLocked(p.req, p.opts, p.key, p.class, effClass[p.key])
 		if !ok {
-			// Unreachable while all submissions stay serialized under s.mu
-			// (the capacity was just checked); bail out whole rather than
-			// admit a partial batch.
-			s.cfg.Logf("batch: invariant violation: %s queue overflowed after capacity check", effClass[p.key])
+			// Reachable only when queue-wait aging moved items into this
+			// class after the capacity check (submissions themselves stay
+			// serialized under s.mu); bail out whole rather than admit a
+			// partial batch.
+			s.cfg.Logf("batch: %s queue filled after capacity check (queue-wait aging), aborting batch", effClass[p.key])
 			aborts := s.rollbackBatchLocked(b)
 			s.mu.Unlock()
 			for _, e := range aborts {
 				e.cancel()
 			}
+			s.quota.refund(charged)
 			w.Header().Set("Retry-After", fmt.Sprint(s.retryAfterHint(p.class)))
 			writeError(w, http.StatusServiceUnavailable, "%s queue is full, retry later", p.class)
 			return

@@ -3,6 +3,7 @@ package server
 import (
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 	"time"
 )
@@ -19,6 +20,13 @@ import (
 // hint telling a well-behaved client exactly when tokens will exist again.
 // Unlabeled submissions share the "" bucket, so anonymity is not a quota
 // escape hatch.
+//
+// The charge lands at submission time, before the server looks at caches or
+// queues: this is a submission-rate limit, so a submission served straight
+// from the result cache still counts.  The one exception is a submission the
+// server itself turns away for queue capacity (503) — the handlers refund
+// those tokens (see refund), so a client honoring the 503's Retry-After is
+// not double-charged into 429s.
 
 // maxClientLabel bounds wire-supplied client labels.
 const maxClientLabel = 64
@@ -42,9 +50,10 @@ func validateClient(s string) error {
 	return nil
 }
 
-// quotaMaxClients bounds how many client buckets are tracked at once; full
-// (idle) buckets beyond it are discarded — a full bucket reconstructs
-// losslessly on the client's next submission.
+// quotaMaxClients bounds how many client buckets are tracked at once.  When
+// insertions push past it, boundLocked first discards full (idle) buckets —
+// a full bucket reconstructs losslessly on the client's next submission —
+// and hard-evicts the stalest buckets if that frees nothing.
 const quotaMaxClients = 4096
 
 // throttleMaxClients bounds how many distinct client labels get their own
@@ -95,14 +104,15 @@ func newClientQuota(rate float64, burst int, now func() time.Time) *clientQuota 
 }
 
 // refillLocked returns the client's bucket refilled to now, creating it full
-// when first seen.  Caller holds the quota mutex.
+// when first seen.  It never evicts: insertions may transiently push the map
+// past quotaMaxClients, and the caller re-bounds it with boundLocked once
+// all its debits are done — never mid-operation, so a multi-client charge
+// (allowBatch) can refill several buckets in turn without an eviction
+// deleting one of them underneath.  Caller holds the quota mutex.
 func (q *clientQuota) refillLocked(client string, now time.Time) *bucket {
 	b := q.buckets[client]
 	if b == nil {
 		b = &bucket{tokens: q.burst, last: now}
-		if len(q.buckets) >= quotaMaxClients {
-			q.sweepLocked()
-		}
 		q.buckets[client] = b
 		return b
 	}
@@ -139,6 +149,7 @@ func (q *clientQuota) allow(client string, n int) (ok bool, retryAfter time.Dura
 	}
 	q.mu.Lock()
 	defer q.mu.Unlock()
+	defer q.boundLocked()
 	b := q.refillLocked(client, q.now())
 	need := float64(n)
 	if b.tokens >= need {
@@ -161,10 +172,18 @@ func (q *clientQuota) allowBatch(counts map[string]int) (ok bool, denied string,
 	}
 	q.mu.Lock()
 	defer q.mu.Unlock()
+	defer q.boundLocked()
 	now := q.now()
 	found := false
+	// Hold the refilled bucket pointers across both loops and debit through
+	// them: the debit must hit exactly the buckets the check loop refilled,
+	// independent of anything that happens to the map in between (eviction is
+	// deferred to boundLocked above, but pointers make the debit immune to
+	// map membership by construction — no nil lookups mid-debit).
+	refilled := make(map[string]*bucket, len(counts))
 	for client, n := range counts {
 		b := q.refillLocked(client, now)
+		refilled[client] = b
 		if need := float64(n); b.tokens < need {
 			if wait := q.waitFor(b, need); !found || wait > retryAfter {
 				found, denied, retryAfter = true, client, wait
@@ -176,17 +195,71 @@ func (q *clientQuota) allowBatch(counts map[string]int) (ok bool, denied string,
 		return false, denied, retryAfter
 	}
 	for client, n := range counts {
-		q.buckets[client].tokens -= float64(n)
+		refilled[client].tokens -= float64(n)
 	}
 	return true, "", 0
+}
+
+// refund re-credits tokens previously charged by allow/allowBatch for a
+// submission the server then turned away on queue capacity (503): a
+// capacity-rejected submission must not burn tokens, or a client honoring
+// the 503's Retry-After hint comes back to a drained bucket and a 429.
+// Credits cap at burst; a bucket evicted since the charge reconstructs full
+// on the client's next submission, so a missing bucket needs nothing.  A nil
+// quota (or nil counts) no-ops.
+func (q *clientQuota) refund(counts map[string]int) {
+	if q == nil {
+		return
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for client, n := range counts {
+		if b := q.buckets[client]; b != nil {
+			b.tokens = math.Min(q.burst, b.tokens+float64(n))
+		}
+	}
+}
+
+// boundLocked re-bounds the buckets map after insertions.  It first sweeps
+// full (hence idle) buckets; under a label-churn flood every fresh bucket is
+// non-full for a while and the sweep frees nothing, so it then hard-evicts
+// the stalest buckets (oldest refill time) — evicting a quotaMaxClients/8
+// slack batch beyond the excess, so the O(n log n) scan runs once per
+// cap/8 insertions rather than on every one.  An evicted bucket
+// reconstructs full on the client's next submission — a bounded,
+// one-burst-sized kindness.  It must only run after an operation's debits
+// are complete, never between refill and debit (see allowBatch).  Caller
+// holds the quota mutex.
+func (q *clientQuota) boundLocked() {
+	if len(q.buckets) <= quotaMaxClients {
+		return
+	}
+	q.sweepLocked()
+	excess := len(q.buckets) - quotaMaxClients
+	if excess <= 0 {
+		return
+	}
+	type aged struct {
+		client string
+		last   time.Time
+	}
+	all := make([]aged, 0, len(q.buckets))
+	for c, b := range q.buckets {
+		all = append(all, aged{c, b.last})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].last.Before(all[j].last) })
+	for _, a := range all[:min(excess+quotaMaxClients/8, len(all))] {
+		delete(q.buckets, a.client)
+	}
 }
 
 // sweepLocked discards full (hence idle) buckets so the map stays bounded
 // under client-label churn.  A client whose bucket is discarded mid-refill
 // gets a fresh full bucket next time — a bounded, one-burst-sized kindness.
 func (q *clientQuota) sweepLocked() {
+	now := q.now()
 	for c, b := range q.buckets {
-		refilled := math.Min(q.burst, b.tokens+q.rate*q.now().Sub(b.last).Seconds())
+		refilled := math.Min(q.burst, b.tokens+q.rate*now.Sub(b.last).Seconds())
 		if refilled >= q.burst {
 			delete(q.buckets, c)
 		}

@@ -226,6 +226,16 @@ func New(cfg Config) *Server {
 			s.mu.Lock()
 			if !e.state.Terminal() && to < e.class {
 				e.class = to
+				// Attached jobs follow the execution into its effective
+				// class: job views, published events and firehose ?class=
+				// filters report where the work actually runs — and a
+				// sibling cancel recomputing urgency from j.class (see
+				// cancelJobLocked) does not demote the entry right back.
+				for _, j := range e.jobs {
+					if !j.state.Terminal() && to < j.class {
+						j.class = to
+					}
+				}
 			}
 			s.mu.Unlock()
 			s.cfg.Logf("sweep %s: aged %s -> %s after queue wait", e.key, from, to)
@@ -592,12 +602,16 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
+		s.quota.refund(map[string]int{req.Client: 1})
 		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
 		return
 	}
 	job, ok := s.submitJobLocked(req, opts, key, class, class)
 	if !ok {
 		s.mu.Unlock()
+		// A capacity rejection gives the token back: the client honoring the
+		// Retry-After below must not come back to a drained bucket.
+		s.quota.refund(map[string]int{req.Client: 1})
 		w.Header().Set("Retry-After", fmt.Sprint(s.retryAfterHint(class)))
 		writeError(w, http.StatusServiceUnavailable, "%s queue is full, retry later", class)
 		return

@@ -2,6 +2,7 @@ package server
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"regexp"
 	"strconv"
@@ -11,6 +12,7 @@ import (
 	"time"
 
 	"refrint"
+	"refrint/internal/sched"
 	"refrint/internal/sweep"
 )
 
@@ -356,6 +358,17 @@ func TestAgingLiftsBackgroundUnderLoad(t *testing.T) {
 		time.Sleep(5 * time.Millisecond)
 	}
 
+	// The aged execution's jobs follow it: job views must report the
+	// effective (aged) class, not the submitted one.  Poll briefly — the
+	// OnAge callback lands just after the scheduler counter moves.
+	deadline = time.Now().Add(10 * time.Second)
+	for h.getJob(bg.ID).Priority != "interactive" {
+		if time.Now().After(deadline) {
+			t.Fatalf("aged job still reports priority %q, want interactive", h.getJob(bg.ID).Priority)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
 	close(exec.release)
 	h.waitState(bg.ID, StateDone)
 	h.waitState(pin.ID, StateDone)
@@ -504,6 +517,115 @@ func TestPriorityAwareCacheEviction(t *testing.T) {
 	}
 	if n := labeledMetric(t, text, `refrint_sweep_cache_evicted_total{class="interactive"}`); n != 0 {
 		t.Errorf(`interactive evictions = %g, want 0`, n)
+	}
+}
+
+// TestQuotaBatchAtClientCap is the regression for a nil-pointer panic in
+// allowBatch: with the buckets map at quotaMaxClients, charging a batch that
+// contains a brand-new client used to trigger a mid-charge sweep that could
+// delete a same-batch client's idle (refilled-to-full) bucket between the
+// check loop and the debit loop.  The charge must succeed — and debit the
+// right buckets — with the map exactly at its bound.
+func TestQuotaBatchAtClientCap(t *testing.T) {
+	now := time.Unix(1000, 0)
+	q := newClientQuota(1, 8, func() time.Time { return now })
+	for i := 0; i < quotaMaxClients; i++ {
+		q.allow(fmt.Sprintf("c%d", i), 1)
+	}
+	// Let every tracked bucket refill to full: the old mid-charge sweep
+	// deleted exactly these when the newcomer's insertion hit the cap.
+	now = now.Add(time.Hour)
+	ok, denied, _ := q.allowBatch(map[string]int{"c0": 2, "newcomer": 3})
+	if !ok {
+		t.Fatalf("batch at client cap denied (client %q)", denied)
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if b := q.buckets["c0"]; b == nil || b.tokens != 6 {
+		t.Fatalf("c0 bucket = %+v, want 6 tokens (burst 8 - 2)", b)
+	}
+	if b := q.buckets["newcomer"]; b == nil || b.tokens != 5 {
+		t.Fatalf("newcomer bucket = %+v, want 5 tokens (burst 8 - 3)", b)
+	}
+}
+
+// TestQuotaHardBound floods the quota with unique client labels whose
+// buckets are all non-full — the idle-bucket sweep can free nothing — and
+// asserts the map stays hard-bounded anyway via stalest-first eviction.
+func TestQuotaHardBound(t *testing.T) {
+	now := time.Unix(1000, 0)
+	q := newClientQuota(0.001, 4, func() time.Time { return now })
+	last := ""
+	for i := 0; i < quotaMaxClients+600; i++ {
+		now = now.Add(time.Millisecond)
+		last = fmt.Sprintf("churn%d", i)
+		if ok, _ := q.allow(last, 1); !ok {
+			t.Fatalf("fresh client %d denied", i)
+		}
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if n := len(q.buckets); n > quotaMaxClients {
+		t.Fatalf("buckets map grew to %d, want <= %d", n, quotaMaxClients)
+	}
+	if q.buckets[last] == nil {
+		t.Fatal("stalest-first eviction discarded the newest bucket")
+	}
+}
+
+// TestQueueFull503RefundsQuota is the regression for capacity rejections
+// burning quota tokens: a client that backs off per the 503's Retry-After
+// must find its tokens intact on retry, not a drained bucket answering 429.
+func TestQueueFull503RefundsQuota(t *testing.T) {
+	exec := newBlockingExec()
+	h := newHarness(t, Config{
+		Shards:          1,
+		ClassQueueDepth: [sched.NumClasses]int{1, 1, 1},
+		ClientRate:      0.001,
+		ClientBurst:     3,
+		Execute:         exec.fn,
+	})
+
+	first := tinyRequest(1)
+	first.Client = "hot"
+	if _, status := h.submit(first); status != http.StatusAccepted {
+		t.Fatalf("first submit: status %d", status)
+	}
+	<-exec.started // the worker holds it; its queue slot is free again
+	second := tinyRequest(2)
+	second.Client = "hot"
+	if _, status := h.submit(second); status != http.StatusAccepted {
+		t.Fatalf("second submit: status %d", status)
+	}
+
+	// The interactive queue (depth 1) is now full.  Every further fresh
+	// sweep is a capacity rejection, and each refunds its token: with burst
+	// 3 and ~no refill, a third and fourth attempt must both be 503 — the
+	// fourth would be a 429 if the third had burned the last token.
+	for seed := int64(3); seed <= 4; seed++ {
+		req := tinyRequest(seed)
+		req.Client = "hot"
+		var body errorBody
+		resp := h.do("POST", "/v1/sweeps", req, &body)
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("seed %d into full queue: status %d (%s), want 503", seed, resp.StatusCode, body.Error)
+		}
+		retryAfterHeader(t, resp)
+	}
+
+	// The batch endpoint refunds the same way: a batch needing more slots
+	// than its class has left is rejected for capacity (503) on every
+	// retry, never laundered into a quota 429.
+	batch := BatchRequest{Client: "batchy", Requests: []refrint.SweepRequest{
+		tinyRequest(5), tinyRequest(6),
+	}}
+	for try := 0; try < 2; try++ {
+		var body errorBody
+		resp := h.do("POST", "/v1/batches", batch, &body)
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("batch try %d: status %d (%s), want 503", try, resp.StatusCode, body.Error)
+		}
+		retryAfterHeader(t, resp)
 	}
 }
 
