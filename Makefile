@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-baseline bench-compare fmt vet
+.PHONY: build test race bench bench-baseline bench-compare fmt vet profile
 
 build:
 	$(GO) build ./...
@@ -27,6 +27,17 @@ bench:
 # commit bench/baseline.txt together with the change that moved the numbers.
 bench-baseline:
 	scripts/bench.sh bench/baseline.txt
+
+# Capture a CPU profile from a running server started with
+# -debug-addr $(DEBUG_ADDR) and drop it under bench/ for go tool pprof:
+#   refrint-serve -debug-addr localhost:6060 &
+#   make profile
+#   $(GO) tool pprof bench/cpu.pprof
+DEBUG_ADDR ?= localhost:6060
+PROFILE_SECONDS ?= 10
+profile:
+	curl -sf -o bench/cpu.pprof "http://$(DEBUG_ADDR)/debug/pprof/profile?seconds=$(PROFILE_SECONDS)"
+	@echo "wrote bench/cpu.pprof ($(PROFILE_SECONDS)s CPU profile from $(DEBUG_ADDR))"
 
 # Compare the current tree against the committed baseline.  benchstat is
 # fetched on demand; the comparison is advisory (machines differ), so CI

@@ -32,10 +32,12 @@ package main
 import (
 	"context"
 	"errors"
+	"expvar"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -47,6 +49,38 @@ import (
 	"refrint/internal/server"
 	"refrint/internal/store"
 )
+
+// newLogger builds the process logger from -log-format/-log-level.
+func newLogger(format, level string) (*slog.Logger, error) {
+	var lv slog.Level
+	if err := lv.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("-log-level: %v", err)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("-log-format: want text or json, got %q", format)
+	}
+}
+
+// debugMux builds the opt-in debugging listener's handler: pprof profiles
+// and expvar counters.  These are registered on a private mux served only on
+// -debug-addr — never on the public API listener, so exposing the service
+// does not expose heap dumps or CPU profiles.
+func debugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	return mux
+}
 
 // parseClassTriple parses a "interactive,batch,background" integer triple
 // flag ("" means all defaults; positive values only).
@@ -88,10 +122,20 @@ func main() {
 		clientRate     = flag.Float64("client-rate", 0, "per-client submission rate limit in requests/second (0 = no limit); over-quota submissions get 429 with Retry-After")
 		clientBurst    = flag.Int("client-burst", 0, "per-client submission burst with -client-rate (0 = ceil(client-rate))")
 		ageAfter       = flag.Duration("age-after", 0, "age a queued sweep one priority class up after waiting this long (0 = never), so interactive floods cannot starve background work forever")
+		logFormat      = flag.String("log-format", "text", "structured log format: text or json")
+		logLevel       = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
+		debugAddr      = flag.String("debug-addr", "", "serve pprof and expvar debugging endpoints on this address (e.g. localhost:6060); keep it private — it exposes profiles, never enable it on the public listener")
 	)
 	flag.Parse()
 
-	logger := log.New(os.Stderr, "refrint-serve: ", log.LstdFlags)
+	logger, err := newLogger(*logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "refrint-serve:", err)
+		os.Exit(2)
+	}
+	logf := func(format string, args ...any) {
+		logger.Info(fmt.Sprintf(format, args...))
+	}
 
 	depths, err := parseClassTriple("class-queue-depths", *classDepths)
 	if err != nil {
@@ -106,13 +150,13 @@ func main() {
 
 	var st *store.Store
 	if *dataDir != "" {
-		st, err = store.Open(*dataDir, store.Options{MaxBytes: *storeMaxBytes, Logf: logger.Printf})
+		st, err = store.Open(*dataDir, store.Options{MaxBytes: *storeMaxBytes, Logf: logf})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "refrint-serve:", err)
 			os.Exit(1)
 		}
 		defer st.Close()
-		logger.Printf("store: %s (%d blobs)", *dataDir, st.Stats().Entries)
+		logger.Info("store opened", "dir", *dataDir, "blobs", st.Stats().Entries)
 	}
 
 	svc := server.New(server.Config{
@@ -131,7 +175,7 @@ func main() {
 		ClientBurst:     *clientBurst,
 		AgeAfter:        *ageAfter,
 		Store:           st,
-		Logf:            logger.Printf,
+		Logger:          logger,
 	})
 	defer svc.Close()
 
@@ -144,8 +188,24 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errc := make(chan error, 1)
+	if *debugAddr != "" {
+		dbg := &http.Server{
+			Addr:              *debugAddr,
+			Handler:           debugMux(),
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() {
+			logger.Info("debug listener (pprof, expvar) up", "addr", *debugAddr)
+			if err := dbg.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				// The debug listener is an operator convenience: its failure
+				// is loud but not fatal to the service.
+				logger.Error("debug listener failed", "err", err)
+			}
+		}()
+		defer dbg.Close()
+	}
 	go func() {
-		logger.Printf("listening on %s", *addr)
+		logger.Info("listening", "addr", *addr)
 		errc <- httpSrv.ListenAndServe()
 	}()
 
@@ -156,7 +216,7 @@ func main() {
 			os.Exit(1)
 		}
 	case <-ctx.Done():
-		logger.Printf("shutting down")
+		logger.Info("shutting down")
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		_ = httpSrv.Shutdown(shutdownCtx)

@@ -1,3 +1,3 @@
 module refrint
 
-go 1.22
+go 1.23

@@ -107,6 +107,14 @@ type Config struct {
 	// scheduler mutex, so callbacks may call back into the scheduler or
 	// take their own locks.
 	OnAge func(payload any, from, to Class)
+	// OnDequeue, when set, is invoked by the worker that popped an item,
+	// after the scheduler mutex is released and before run executes it,
+	// with the class the item was dequeued from and the time it spent
+	// queued in that class (the clock restarts on Promote and aging, like
+	// the WaitSum accounting).  This surfaces the queue-phase timestamps to
+	// the owner for tracing and latency histograms; callbacks may take
+	// their own locks.
+	OnDequeue func(payload any, class Class, wait time.Duration)
 	// Now is the clock used for scheduling-latency accounting (default
 	// time.Now; injectable for tests).
 	Now func() time.Time
@@ -137,6 +145,7 @@ type item struct {
 	class   Class
 	home    int
 	at      time.Time
+	wait    time.Duration // queue wait measured at dequeue, for OnDequeue
 	state   uint8
 	gen     uint32
 	next    *item // free list link
@@ -369,6 +378,9 @@ func (s *Scheduler) Start(run func(payload any)) {
 				it := s.next(idx)
 				if it == nil {
 					return
+				}
+				if s.cfg.OnDequeue != nil {
+					s.cfg.OnDequeue(it.payload, it.class, it.wait)
 				}
 				run(it.payload)
 				s.done(it)
@@ -661,7 +673,8 @@ func (s *Scheduler) takeLocked(idx int) *item {
 	s.queued[c]--
 	it.state = itemTaken
 	s.busy++
-	s.waitSum[it.class] += s.cfg.Now().Sub(it.at)
+	it.wait = s.cfg.Now().Sub(it.at)
+	s.waitSum[it.class] += it.wait
 	s.waitCount[it.class]++
 	return it
 }

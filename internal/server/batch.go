@@ -32,24 +32,42 @@ type Batch struct {
 	lastEventDone int
 }
 
-// batchMember is one job of a batch: live (job != nil) or frozen (view).
+// batchMember is one job of a batch: live (job != nil) or frozen
+// (view/trace).
 type batchMember struct {
-	job  *Job
-	view JobView
+	job   *Job
+	view  JobView
+	trace TraceView
+}
+
+// freezeLocked pins the member's terminal view and trace and drops the Job
+// pointer.  Caller holds the server mutex and has checked the job is
+// terminal.
+func (m *batchMember) freezeLocked() {
+	m.view = m.job.snapshot()
+	m.trace = m.job.traceView(m.job.endedAt)
+	m.job = nil
 }
 
 // memberView returns the member's current view, freezing it on the first
 // sight of a terminal state.  Caller holds the server mutex.
 func (m *batchMember) memberView() JobView {
 	if m.job != nil {
-		v := m.job.snapshot()
-		if !v.State.Terminal() {
+		if v := m.job.snapshot(); !v.State.Terminal() {
 			return v
 		}
-		m.view = v
-		m.job = nil
+		m.freezeLocked()
 	}
 	return m.view
+}
+
+// memberTrace returns the member's lifecycle timeline, live or frozen.
+// Caller holds the server mutex.
+func (m *batchMember) memberTrace(now time.Time) TraceView {
+	if m.job != nil {
+		return m.job.traceView(now)
+	}
+	return m.trace
 }
 
 // BatchRequest is the JSON body of POST /v1/batches: N sweep requests
@@ -137,6 +155,9 @@ func (b *Batch) snapshot() BatchView {
 // is checked before any job is created, so a batch either lands whole or
 // leaves no trace (no half-admitted campaigns to clean up).
 func (s *Server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
+	received := time.Now()
+	reqID := requestTraceID(r)
+	w.Header().Set("X-Request-Id", reqID)
 	var breq BatchRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20))
 	dec.DisallowUnknownFields()
@@ -188,6 +209,10 @@ func (s *Server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		plan = append(plan, planned{req: sub, opts: opts, key: opts.Key(), class: class})
 	}
+	// All members validated together; each gets its own trace keyed off the
+	// request's trace ID so one batch submission fans out as reqID.0,
+	// reqID.1, ... in logs and trace timelines.
+	validated := time.Now()
 	// One token per request, charged to each request's effective client,
 	// all-or-nothing across the batch.  The charge lands here, at submission
 	// time — members later served from cache still count; this is a
@@ -310,7 +335,7 @@ func (s *Server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
 		client:    breq.Client,
 		createdAt: time.Now(),
 	}
-	for _, p := range plan {
+	for i, p := range plan {
 		// Re-install a revived result the cache may have evicted since (or
 		// during) the revive loop, so this member is served as a hit.
 		if res := revived[p.key]; res != nil {
@@ -318,7 +343,10 @@ func (s *Server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
 				s.installDoneEntryLocked(p.key, res)
 			}
 		}
-		job, ok := s.submitJobLocked(p.req, p.opts, p.key, p.class, effClass[p.key])
+		tr := trace{id: fmt.Sprintf("%s.%d", reqID, i)}
+		tr.mark(phaseReceived, received)
+		tr.mark(phaseValidated, validated)
+		job, ok := s.submitJobLocked(p.req, p.opts, p.key, p.class, effClass[p.key], tr)
 		if !ok {
 			// Reachable only when queue-wait aging moved items into this
 			// class after the capacity check (submissions themselves stay
@@ -455,8 +483,7 @@ func (s *Server) evictBatchesLocked() {
 		for i := range b.members {
 			m := &b.members[i]
 			if m.job != nil && m.job.state.Terminal() {
-				m.view = m.job.snapshot()
-				m.job = nil
+				m.freezeLocked()
 			}
 			if m.job != nil {
 				done = false

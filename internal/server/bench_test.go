@@ -35,6 +35,31 @@ func BenchmarkProgressCallback(b *testing.B) {
 	}
 }
 
+// BenchmarkHistogramObserve measures the latency-record path behind every
+// /metrics histogram (HTTP requests, scheduler waits, execution times).  The
+// perf gate pins it at 0 allocs/op (bench/baseline.txt).
+func BenchmarkHistogramObserve(b *testing.B) {
+	var h histogram
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i%1000) * 0.0003)
+	}
+}
+
+// BenchmarkHistogramObserveParallel contends Observe the way concurrent
+// request handlers do.
+func BenchmarkHistogramObserveParallel(b *testing.B) {
+	var h histogram
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			h.Observe(0.0003)
+		}
+	})
+}
+
 // BenchmarkProgressCallbackParallel contends the CAS-max loop the way real
 // sweeps do: every worker goroutine reports completions concurrently.
 func BenchmarkProgressCallbackParallel(b *testing.B) {

@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"sync/atomic"
+	"time"
 
 	"refrint"
 	"refrint/internal/sched"
@@ -27,6 +28,14 @@ type entry struct {
 	handle sched.Handle
 
 	state State // queued → running → done | failed | cancelled
+
+	// execStart is when a worker began executing the sweep (zero if it
+	// never ran); finishLocked feeds it into the per-class execution-time
+	// histogram.  revived marks a done entry restored from the persistent
+	// store, so jobs served from it trace the revived (not cache-hit)
+	// shortcut.
+	execStart time.Time
+	revived   bool
 
 	// done/total are the lock-free progress counters: the per-simulation
 	// callback (Server.progressCallback) advances done with a CAS-max and

@@ -1,0 +1,110 @@
+package server
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"sync/atomic"
+)
+
+// This file is the latency-histogram primitive behind /metrics: a fixed
+// log-spaced bucket layout shared by every latency family the server
+// exposes (HTTP request duration, scheduler queue wait, sweep execution
+// time), rendered in Prometheus exposition format next to the hand-rolled
+// counters.  No external dependencies: the record path is a couple of
+// atomics, and rendering is plain text.
+
+// latencyBounds are the bucket upper bounds in seconds, log-spaced 1-2.5-5
+// per decade from 100µs (a cached HTTP hit) to 100s (a large sweep), plus an
+// implicit +Inf overflow bucket.  Every histogram shares this layout, so
+// cross-family quantile queries line up and the per-histogram state is one
+// fixed-size array — no per-instance bucket slice to allocate or configure.
+var latencyBounds = [...]float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100,
+}
+
+// numHistogramBuckets counts the observable buckets: one per bound plus +Inf.
+const numHistogramBuckets = len(latencyBounds) + 1
+
+// histogram is a fixed-bucket cumulative latency histogram.  Observe is
+// lock-free and allocation-free — safe to call from request handlers and
+// scheduler callbacks at any rate — and rendering reads the same atomics, so
+// scrapes never contend with recording.  The zero value is ready to use.
+type histogram struct {
+	// counts holds per-bucket (NOT cumulative) observation counts; the
+	// cumulative sums Prometheus wants are computed at render time.
+	counts [numHistogramBuckets]atomic.Uint64
+	// sumBits is the float64 bit pattern of the running sum of observed
+	// values, CAS-updated so concurrent observers never lose an addend.
+	sumBits atomic.Uint64
+}
+
+// Observe records one value (in seconds).  Zero allocations, zero locks.
+func (h *histogram) Observe(v float64) {
+	i := 0
+	for i < len(latencyBounds) && v > latencyBounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// snapshot returns the cumulative bucket counts (cum[i] covers everything at
+// or below bound i; the last element is the total), the observation count
+// and the value sum.  Concurrent Observes may land between loads; each
+// series stays monotonic across scrapes regardless.
+func (h *histogram) snapshot() (cum [numHistogramBuckets]uint64, count uint64, sum float64) {
+	for i := range h.counts {
+		count += h.counts[i].Load()
+		cum[i] = count
+	}
+	return cum, count, math.Float64frombits(h.sumBits.Load())
+}
+
+// formatBound renders a bucket bound the way Prometheus clients expect
+// ("0.005", "2.5", "100").
+func formatBound(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// histogramSeries pairs one histogram with its label set ("" or
+// `class="interactive"` style, without braces) for family rendering.
+type histogramSeries struct {
+	labels string
+	h      *histogram
+}
+
+// writeHistogramFamily renders one complete histogram metric family —
+// HELP/TYPE header once, then the cumulative _bucket/_sum/_count lines of
+// every series — in Prometheus exposition format.
+func writeHistogramFamily(b *strings.Builder, name, help string, series []histogramSeries) {
+	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	for _, s := range series {
+		cum, count, sum := s.h.snapshot()
+		sep := ""
+		if s.labels != "" {
+			sep = ","
+		}
+		for i, c := range cum {
+			le := "+Inf"
+			if i < len(latencyBounds) {
+				le = formatBound(latencyBounds[i])
+			}
+			fmt.Fprintf(b, "%s_bucket{%s%sle=%q} %d\n", name, s.labels, sep, le, c)
+		}
+		if s.labels != "" {
+			fmt.Fprintf(b, "%s_sum{%s} %.9f\n", name, s.labels, sum)
+			fmt.Fprintf(b, "%s_count{%s} %d\n", name, s.labels, count)
+		} else {
+			fmt.Fprintf(b, "%s_sum %.9f\n", name, sum)
+			fmt.Fprintf(b, "%s_count %d\n", name, count)
+		}
+	}
+}

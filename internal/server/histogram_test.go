@@ -1,0 +1,130 @@
+package server
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestHistogramBuckets pins the bucket-assignment rule: a value lands in the
+// first bucket whose bound is >= the value (bounds are inclusive upper
+// edges), and anything beyond the last bound lands in +Inf.
+func TestHistogramBuckets(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want int // expected raw bucket index
+	}{
+		{0, 0},                        // below the first bound
+		{0.0001, 0},                   // exactly on a bound: that bucket
+		{0.0002, 1},                   // between bounds: next bucket up
+		{0.003, 5},                    // 0.0025 < v <= 0.005
+		{100, len(latencyBounds) - 1}, // exactly the last bound
+		{101, len(latencyBounds)},     // overflow: +Inf
+		{1e9, len(latencyBounds)},     // way overflow: still +Inf
+		{-1, 0},                       // negative (clock skew): first bucket
+	}
+	for _, tc := range cases {
+		var h histogram
+		h.Observe(tc.v)
+		for i := range h.counts {
+			got := h.counts[i].Load()
+			if want := uint64(0); i == tc.want {
+				want = 1
+				if got != want {
+					t.Errorf("Observe(%v): bucket %d = %d, want %d", tc.v, i, got, want)
+				}
+			} else if got != 0 {
+				t.Errorf("Observe(%v): bucket %d = %d, want 0", tc.v, i, got)
+			}
+		}
+	}
+}
+
+// TestHistogramSnapshot verifies the cumulative counts, total and sum the
+// exposition renders from.
+func TestHistogramSnapshot(t *testing.T) {
+	var h histogram
+	values := []float64{0.0001, 0.0001, 0.003, 7, 1000}
+	sum := 0.0
+	for _, v := range values {
+		h.Observe(v)
+		sum += v
+	}
+	cum, count, gotSum := h.snapshot()
+	if count != uint64(len(values)) {
+		t.Fatalf("count = %d, want %d", count, len(values))
+	}
+	if math.Abs(gotSum-sum) > 1e-9 {
+		t.Fatalf("sum = %v, want %v", gotSum, sum)
+	}
+	prev := uint64(0)
+	for i, c := range cum {
+		if c < prev {
+			t.Fatalf("cumulative counts not monotonic at bucket %d: %d < %d", i, c, prev)
+		}
+		prev = c
+	}
+	if cum[len(cum)-1] != count {
+		t.Fatalf("+Inf bucket = %d, want total count %d", cum[len(cum)-1], count)
+	}
+	// Spot-check: both 0.0001 observations are at or below the first bound.
+	if cum[0] != 2 {
+		t.Fatalf("cum[0] = %d, want 2", cum[0])
+	}
+}
+
+// TestHistogramConcurrent hammers Observe from many goroutines: no
+// observation may be lost from the count or the sum.
+func TestHistogramConcurrent(t *testing.T) {
+	var h histogram
+	const goroutines, per = 8, 2000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(0.001)
+			}
+		}()
+	}
+	wg.Wait()
+	_, count, sum := h.snapshot()
+	if count != goroutines*per {
+		t.Fatalf("count = %d, want %d", count, goroutines*per)
+	}
+	if want := float64(goroutines*per) * 0.001; math.Abs(sum-want) > 1e-6 {
+		t.Fatalf("sum = %v, want %v", sum, want)
+	}
+}
+
+// TestWriteHistogramFamily checks the exposition rendering: one HELP/TYPE
+// header, le-labelled cumulative buckets ending at +Inf, and _sum/_count
+// lines per series.
+func TestWriteHistogramFamily(t *testing.T) {
+	var h histogram
+	h.Observe(0.3)
+	h.Observe(2)
+	var b strings.Builder
+	writeHistogramFamily(&b, "test_seconds", "Help text.", []histogramSeries{
+		{labels: `class="x"`, h: &h},
+	})
+	text := b.String()
+	for _, want := range []string{
+		"# HELP test_seconds Help text.\n",
+		"# TYPE test_seconds histogram\n",
+		`test_seconds_bucket{class="x",le="0.25"} 0` + "\n",
+		`test_seconds_bucket{class="x",le="0.5"} 1` + "\n",
+		`test_seconds_bucket{class="x",le="2.5"} 2` + "\n",
+		`test_seconds_bucket{class="x",le="+Inf"} 2` + "\n",
+		`test_seconds_count{class="x"} 2` + "\n",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+	if !strings.Contains(text, `test_seconds_sum{class="x"} 2.3`) {
+		t.Errorf("exposition missing sum 2.3:\n%s", text)
+	}
+}

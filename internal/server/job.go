@@ -67,6 +67,7 @@ type Job struct {
 	request refrint.SweepRequest
 	class   sched.Class // the priority class this job was submitted with
 	entry   *entry      // the shared execution this job is attached to
+	trace   trace       // lifecycle timeline + request trace ID (trace.go)
 
 	state     State
 	cacheHit  bool // completed from an already-cached result
@@ -134,14 +135,19 @@ func progressView(done, total int, st State) ProgressView {
 
 // JobView is the JSON form of a job returned by the API.
 type JobView struct {
-	ID       string               `json:"id"`
-	Key      string               `json:"key"`
-	State    State                `json:"state"`
-	Priority string               `json:"priority"`
-	CacheHit bool                 `json:"cache_hit"`
-	Progress ProgressView         `json:"progress"`
-	Error    string               `json:"error,omitempty"`
-	Request  refrint.SweepRequest `json:"request"`
+	ID       string       `json:"id"`
+	Key      string       `json:"key"`
+	TraceID  string       `json:"trace_id"`
+	State    State        `json:"state"`
+	Priority string       `json:"priority"`
+	CacheHit bool         `json:"cache_hit"`
+	Progress ProgressView `json:"progress"`
+	// Phases is the compact per-phase duration summary (seconds) of the
+	// job's lifecycle timeline; GET /v1/sweeps/{id}/trace has the full
+	// ordered spans.
+	Phases  map[string]float64   `json:"phases,omitempty"`
+	Error   string               `json:"error,omitempty"`
+	Request refrint.SweepRequest `json:"request"`
 
 	CreatedAt  time.Time  `json:"created_at"`
 	StartedAt  *time.Time `json:"started_at,omitempty"`
@@ -153,9 +159,11 @@ func (j *Job) snapshot() JobView {
 	v := JobView{
 		ID:        j.id,
 		Key:       j.key,
+		TraceID:   j.trace.id,
 		State:     j.state,
 		Priority:  j.class.String(),
 		CacheHit:  j.cacheHit,
+		Phases:    j.phaseSummary(time.Now()),
 		Request:   j.request,
 		CreatedAt: j.createdAt,
 	}

@@ -3,6 +3,8 @@ package server
 import (
 	"fmt"
 	"net/http"
+	"runtime"
+	"runtime/debug"
 	"sort"
 	"strings"
 	"time"
@@ -10,91 +12,153 @@ import (
 	"refrint/internal/sched"
 )
 
+// buildInfoLabels is the constant label set of refrint_build_info, resolved
+// once from the binary's embedded build metadata.
+var buildInfoLabels = func() string {
+	version, revision := "unknown", "unknown"
+	goVersion := runtime.Version()
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if bi.Main.Version != "" {
+			version = bi.Main.Version
+		}
+		if bi.GoVersion != "" {
+			goVersion = bi.GoVersion
+		}
+		for _, kv := range bi.Settings {
+			if kv.Key == "vcs.revision" && kv.Value != "" {
+				revision = kv.Value
+			}
+		}
+	}
+	return fmt.Sprintf("go_version=%q,version=%q,revision=%q", goVersion, version, revision)
+}()
+
+// metricsSnapshot is everything /metrics reads from state guarded by the
+// server mutex, captured in one short critical section.  Rendering — string
+// formatting for dozens of series — happens after the lock is released, so a
+// slow scraper can never stall submissions or terminal transitions.
+type metricsSnapshot struct {
+	byState          map[State]int
+	batches          int
+	cached, inflight int
+	sweepHits        int64
+	sweepMisses      int64
+	sweepEvicted     [sched.NumClasses]int64
+	windowed         float64
+}
+
+// snapshotMetricsLocked captures the mutex-guarded half of the exposition.
+// Caller holds the server mutex.
+func (s *Server) snapshotMetricsLocked() metricsSnapshot {
+	snap := metricsSnapshot{
+		byState:      make(map[State]int, 5),
+		batches:      len(s.batches),
+		sweepHits:    s.sweepCacheHits,
+		sweepMisses:  s.sweepCacheMisses,
+		sweepEvicted: s.sweepCacheEvicted,
+	}
+	for _, j := range s.jobs {
+		snap.byState[j.state]++
+	}
+	snap.cached, snap.inflight = s.cache.stats()
+	s.foldSimRateLocked()
+	snap.windowed = s.simRate.Rate()
+	return snap
+}
+
 // handleMetrics implements GET /metrics: a plain-text, Prometheus-style
-// exposition of the service's operational counters.  It uses no external
-// dependencies — the format is simple enough to emit by hand.
+// exposition of the service's operational counters, gauges and latency
+// histograms.  It uses no external dependencies — the format is simple
+// enough to emit by hand.  Everything under s.mu is snapshotted first and
+// rendered after unlock; the scheduler, store, quota and event-bus stats
+// have their own locks, and the histograms are lock-free atomics.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
-	byState := map[State]int{}
-	for _, j := range s.jobs {
-		byState[j.state]++
-	}
+	snap := s.snapshotMetricsLocked()
+	s.mu.Unlock()
+
+	var b strings.Builder
+	s.renderMetrics(&b, snap)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte(b.String()))
+}
+
+// renderMetrics formats the full exposition.  It holds NO server mutex: the
+// mutex-guarded values arrive pre-snapshotted, everything else is read from
+// independently synchronized sources.
+func (s *Server) renderMetrics(b *strings.Builder, snap metricsSnapshot) {
 	sst := s.sched.Stats()
 	queued := 0
 	for _, q := range sst.Queued {
 		queued += q
 	}
-	batches := len(s.batches)
-	cached, inflight := s.cache.stats()
-	sweepHits, sweepMisses := s.sweepCacheHits, s.sweepCacheMisses
-	sweepEvicted := s.sweepCacheEvicted
-	s.foldSimRateLocked()
-	sims := s.simsCompleted.Load()
-	windowed := s.simRate.Rate()
-	uptime := time.Since(s.startedAt).Seconds()
-	s.mu.Unlock()
 	subs, published, dropped := s.bus.stats()
+	sims := s.simsCompleted.Load()
+	uptime := time.Since(s.startedAt).Seconds()
 
-	var b strings.Builder
 	gauge := func(name, help string, value any) {
-		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %v\n", name, help, name, name, value)
+		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s gauge\n%s %v\n", name, help, name, name, value)
 	}
 	counter := func(name, help string, value any) {
-		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %v\n", name, help, name, name, value)
+		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s counter\n%s %v\n", name, help, name, name, value)
 	}
+
+	fmt.Fprintf(b, "# HELP refrint_build_info Build metadata of the running binary (constant 1).\n# TYPE refrint_build_info gauge\nrefrint_build_info{%s} 1\n", buildInfoLabels)
 
 	gauge("refrint_queue_depth", "Sweep executions waiting in scheduler queues (all classes).", queued)
 
-	fmt.Fprintf(&b, "# HELP refrint_sched_queue_depth Sweep executions waiting, by priority class.\n# TYPE refrint_sched_queue_depth gauge\n")
+	fmt.Fprintf(b, "# HELP refrint_sched_queue_depth Sweep executions waiting, by priority class.\n# TYPE refrint_sched_queue_depth gauge\n")
 	for c := sched.Class(0); c < sched.NumClasses; c++ {
-		fmt.Fprintf(&b, "refrint_sched_queue_depth{class=%q} %d\n", c.String(), sst.Queued[c])
+		fmt.Fprintf(b, "refrint_sched_queue_depth{class=%q} %d\n", c.String(), sst.Queued[c])
 	}
 	counter("refrint_sched_steals_total", "Dequeues where an idle worker took work homed to a sibling.", sst.Steals)
-	fmt.Fprintf(&b, "# HELP refrint_sched_wait_seconds_sum Cumulative submit-to-dequeue latency, by priority class.\n# TYPE refrint_sched_wait_seconds_sum counter\n")
-	for c := sched.Class(0); c < sched.NumClasses; c++ {
-		fmt.Fprintf(&b, "refrint_sched_wait_seconds_sum{class=%q} %.6f\n", c.String(), sst.WaitSum[c].Seconds())
-	}
-	fmt.Fprintf(&b, "# HELP refrint_sched_wait_seconds_count Dequeues observed by the latency sum, by priority class.\n# TYPE refrint_sched_wait_seconds_count counter\n")
-	for c := sched.Class(0); c < sched.NumClasses; c++ {
-		fmt.Fprintf(&b, "refrint_sched_wait_seconds_count{class=%q} %d\n", c.String(), sst.WaitCount[c])
-	}
-	fmt.Fprintf(&b, "# HELP refrint_sched_aged_total Queued sweeps aged into a more urgent class after waiting past the age threshold.\n# TYPE refrint_sched_aged_total counter\n")
+	writeHistogramFamily(b, "refrint_sched_wait_seconds",
+		"Submit-to-dequeue latency of sweep executions, by priority class.",
+		s.classHistogramSeries(&s.schedWait))
+	writeHistogramFamily(b, "refrint_exec_seconds",
+		"Wall time sweep executions spent on a worker (dequeue to terminal), by priority class.",
+		s.classHistogramSeries(&s.execSeconds))
+	writeHistogramFamily(b, "refrint_http_request_seconds",
+		"HTTP request latency, by route pattern and status code.",
+		s.httpMetrics.series())
+	fmt.Fprintf(b, "# HELP refrint_sched_aged_total Queued sweeps aged into a more urgent class after waiting past the age threshold.\n# TYPE refrint_sched_aged_total counter\n")
 	for to := sched.Class(0); to < sched.NumClasses-1; to++ {
 		from := to + 1
-		fmt.Fprintf(&b, "refrint_sched_aged_total{from=%q,to=%q} %d\n", from.String(), to.String(), sst.Aged[from][to])
+		fmt.Fprintf(b, "refrint_sched_aged_total{from=%q,to=%q} %d\n", from.String(), to.String(), sst.Aged[from][to])
 	}
 	gauge("refrint_sched_workers", "Worker goroutines executing sweeps.", sst.Workers)
 	gauge("refrint_sched_busy_workers", "Workers currently running a sweep.", sst.Busy)
-	gauge("refrint_batches", "Batches currently pollable.", batches)
+	gauge("refrint_batches", "Batches currently pollable.", snap.batches)
 
-	fmt.Fprintf(&b, "# HELP refrint_jobs Jobs by lifecycle state.\n# TYPE refrint_jobs gauge\n")
+	fmt.Fprintf(b, "# HELP refrint_jobs Jobs by lifecycle state.\n# TYPE refrint_jobs gauge\n")
 	for _, st := range []State{StateQueued, StateRunning, StateDone, StateFailed, StateCancelled} {
-		fmt.Fprintf(&b, "refrint_jobs{state=%q} %d\n", string(st), byState[st])
+		fmt.Fprintf(b, "refrint_jobs{state=%q} %d\n", string(st), snap.byState[st])
 	}
 
-	gauge("refrint_sweep_cache_entries", "Completed sweeps held in the in-memory cache.", cached)
-	gauge("refrint_sweep_inflight", "Sweep executions currently queued or running.", inflight)
-	counter("refrint_sweep_cache_hits_total", "Submissions answered immediately from the sweep cache or store.", sweepHits)
-	counter("refrint_sweep_cache_misses_total", "Submissions that required a live execution.", sweepMisses)
-	fmt.Fprintf(&b, "# HELP refrint_sweep_cache_evicted_total Completed sweeps evicted from the in-memory cache, by the execution's priority class.\n# TYPE refrint_sweep_cache_evicted_total counter\n")
+	gauge("refrint_sweep_cache_entries", "Completed sweeps held in the in-memory cache.", snap.cached)
+	gauge("refrint_sweep_inflight", "Sweep executions currently queued or running.", snap.inflight)
+	counter("refrint_sweep_cache_hits_total", "Submissions answered immediately from the sweep cache or store.", snap.sweepHits)
+	counter("refrint_sweep_cache_misses_total", "Submissions that required a live execution.", snap.sweepMisses)
+	fmt.Fprintf(b, "# HELP refrint_sweep_cache_evicted_total Completed sweeps evicted from the in-memory cache, by the execution's priority class.\n# TYPE refrint_sweep_cache_evicted_total counter\n")
 	for c := sched.Class(0); c < sched.NumClasses; c++ {
-		fmt.Fprintf(&b, "refrint_sweep_cache_evicted_total{class=%q} %d\n", c.String(), sweepEvicted[c])
+		fmt.Fprintf(b, "refrint_sweep_cache_evicted_total{class=%q} %d\n", c.String(), snap.sweepEvicted[c])
 	}
 
 	if byClient, throttledTotal := s.quota.stats(); s.quota != nil {
-		fmt.Fprintf(&b, "# HELP refrint_client_throttled_total Submissions rejected with 429 by the per-client rate limit.\n# TYPE refrint_client_throttled_total counter\n")
+		fmt.Fprintf(b, "# HELP refrint_client_throttled_total Submissions rejected with 429 by the per-client rate limit.\n# TYPE refrint_client_throttled_total counter\n")
 		clients := make([]string, 0, len(byClient))
 		for c := range byClient {
 			clients = append(clients, c)
 		}
 		sort.Strings(clients)
 		for _, c := range clients {
-			fmt.Fprintf(&b, "refrint_client_throttled_total{client=%q} %d\n", c, byClient[c])
+			fmt.Fprintf(b, "refrint_client_throttled_total{client=%q} %d\n", c, byClient[c])
 		}
 		if len(byClient) == 0 {
 			// No throttles yet: expose the zero total so the series exists
 			// (and dashboards can rate() it) from the first scrape.
-			fmt.Fprintf(&b, "refrint_client_throttled_total{client=\"\"} %d\n", throttledTotal)
+			fmt.Fprintf(b, "refrint_client_throttled_total{client=\"\"} %d\n", throttledTotal)
 		}
 	}
 
@@ -108,9 +172,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		gauge("refrint_store_bytes", "Bytes currently persisted in the store.", ss.Bytes)
 		counter("refrint_store_quarantined_total", "Blobs quarantined after failing verification.", ss.Quarantined)
 		counter("refrint_store_evictions_total", "Blobs evicted by the LRU byte budget.", ss.Evictions)
-		fmt.Fprintf(&b, "# HELP refrint_store_evictions_rank_total Blobs evicted by the LRU byte budget, by retention rank (0 = most retained).\n# TYPE refrint_store_evictions_rank_total counter\n")
+		fmt.Fprintf(b, "# HELP refrint_store_evictions_rank_total Blobs evicted by the LRU byte budget, by retention rank (0 = most retained).\n# TYPE refrint_store_evictions_rank_total counter\n")
 		for rank, n := range ss.EvictionsByRank {
-			fmt.Fprintf(&b, "refrint_store_evictions_rank_total{rank=\"%d\"} %d\n", rank, n)
+			fmt.Fprintf(b, "refrint_store_evictions_rank_total{rank=\"%d\"} %d\n", rank, n)
 		}
 	}
 
@@ -124,10 +188,25 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		rate = float64(sims) / uptime
 	}
 	gauge("refrint_sims_per_second", "Average simulations per second since the server started.", fmt.Sprintf("%.6g", rate))
-	gauge("refrint_sims_per_second_1m", "Simulations per second over the last minute (sliding window).", fmt.Sprintf("%.6g", windowed))
+	gauge("refrint_sims_per_second_1m", "Simulations per second over the last minute (sliding window).", fmt.Sprintf("%.6g", snap.windowed))
 	gauge("refrint_uptime_seconds", "Seconds since the server started.", fmt.Sprintf("%.3f", uptime))
 
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	w.WriteHeader(http.StatusOK)
-	_, _ = w.Write([]byte(b.String()))
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	gauge("refrint_goroutines", "Goroutines currently live in the process.", runtime.NumGoroutine())
+	gauge("refrint_heap_alloc_bytes", "Bytes of allocated heap objects.", ms.HeapAlloc)
+	counter("refrint_gc_pause_seconds_total", "Cumulative stop-the-world GC pause time.", fmt.Sprintf("%.6f", float64(ms.PauseTotalNs)/1e9))
+}
+
+// classHistogramSeries labels one per-class histogram array for family
+// rendering.
+func (s *Server) classHistogramSeries(hs *[sched.NumClasses]histogram) []histogramSeries {
+	series := make([]histogramSeries, sched.NumClasses)
+	for c := range hs {
+		series[c] = histogramSeries{
+			labels: fmt.Sprintf("class=%q", sched.Class(c).String()),
+			h:      &hs[c],
+		}
+	}
+	return series
 }

@@ -1,0 +1,144 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// This file is the HTTP metrics middleware: every request through the
+// public mux is timed into the refrint_http_request_seconds{route,code}
+// histogram family.  The hot path — status capture, route lookup, Observe —
+// performs zero heap allocations (pinned by TestHTTPMiddlewareZeroAllocs):
+// response wrappers are pooled and the per-(route,code) histograms live in
+// a map read under an RLock, created once on first sight.
+//
+// Label cardinality is bounded by construction: route is the matched
+// ServeMux pattern (a fixed, small set; unmatched requests collapse into
+// "unrouted"), never the raw URL, and code is an HTTP status.
+
+// routeCode keys one (route, status code) histogram.
+type routeCode struct {
+	route string
+	code  int
+}
+
+// httpMetrics owns the per-route/per-code request-duration histograms.
+type httpMetrics struct {
+	mu    sync.RWMutex
+	hists map[routeCode]*histogram
+}
+
+func newHTTPMetrics() *httpMetrics {
+	return &httpMetrics{hists: make(map[routeCode]*histogram)}
+}
+
+// observe records one request.  Steady state is an RLock'd map hit and an
+// atomic Observe; only the first request of a new (route, code) pair takes
+// the write lock to create its histogram.
+func (m *httpMetrics) observe(route string, code int, seconds float64) {
+	k := routeCode{route: route, code: code}
+	m.mu.RLock()
+	h := m.hists[k]
+	m.mu.RUnlock()
+	if h == nil {
+		m.mu.Lock()
+		if h = m.hists[k]; h == nil {
+			h = &histogram{}
+			m.hists[k] = h
+		}
+		m.mu.Unlock()
+	}
+	h.Observe(seconds)
+}
+
+// snapshot returns the live histograms keyed by (route, code).  The
+// histograms themselves are safe to read concurrently; the map copy is so
+// rendering never holds the metrics lock.
+func (m *httpMetrics) snapshot() map[routeCode]*histogram {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make(map[routeCode]*histogram, len(m.hists))
+	for k, h := range m.hists {
+		out[k] = h
+	}
+	return out
+}
+
+// series renders the snapshot as deterministically ordered labeled series
+// for /metrics family rendering: sorted by route, then status code, so
+// consecutive scrapes diff cleanly.
+func (m *httpMetrics) series() []histogramSeries {
+	snap := m.snapshot()
+	keys := make([]routeCode, 0, len(snap))
+	for k := range snap {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].route != keys[j].route {
+			return keys[i].route < keys[j].route
+		}
+		return keys[i].code < keys[j].code
+	})
+	out := make([]histogramSeries, len(keys))
+	for i, k := range keys {
+		out[i] = histogramSeries{
+			labels: fmt.Sprintf("route=%q,code=\"%d\"", k.route, k.code),
+			h:      snap[k],
+		}
+	}
+	return out
+}
+
+// statusWriter captures the response status code.  Unwrap exposes the
+// underlying ResponseWriter so http.ResponseController keeps reaching
+// Flush/SetWriteDeadline — the SSE streams depend on that.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	return w.ResponseWriter.Write(p)
+}
+
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+// statusWriterPool recycles statusWriters so the middleware allocates
+// nothing per request in steady state.
+var statusWriterPool = sync.Pool{New: func() any { return &statusWriter{} }}
+
+// instrument wraps the mux with request timing.  The route label is the
+// pattern the mux actually matched (r.Pattern after ServeHTTP), so /v1/
+// sweeps/{id} is one series no matter how many jobs exist.
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := statusWriterPool.Get().(*statusWriter)
+		sw.ResponseWriter, sw.code = w, 0
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		route := r.Pattern
+		if route == "" {
+			route = "unrouted"
+		}
+		code := sw.code
+		if code == 0 {
+			code = http.StatusOK
+		}
+		s.httpMetrics.observe(route, code, time.Since(start).Seconds())
+		sw.ResponseWriter = nil
+		statusWriterPool.Put(sw)
+	})
+}

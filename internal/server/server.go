@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"net/http"
 	"runtime"
@@ -96,7 +97,14 @@ type Config struct {
 	// cells: restarts serve previously completed sweeps without re-running
 	// them, and overlapping sweeps reuse each other's cells.
 	Store *store.Store
-	// Logf, when set, receives one line per job state transition.
+	// Logger is the structured log sink.  Job lifecycle lines carry the
+	// request trace ID, client, class and sweep key, and terminal lines
+	// carry the per-phase duration breakdown.  When unset it is derived
+	// from Logf (or discards everything if that is unset too).
+	Logger *slog.Logger
+	// Logf, when set, receives one line per job state transition
+	// (printf-style; predates Logger).  When unset it is derived from
+	// Logger, so both APIs feed one stream.
 	Logf func(format string, args ...any)
 }
 
@@ -141,18 +149,28 @@ func (c Config) withDefaults() Config {
 			return sweep.ExecuteContext(ctx, opts, progress)
 		}
 	}
-	if c.Logf == nil {
+	switch {
+	case c.Logger == nil && c.Logf == nil:
+		c.Logger = slog.New(discardHandler{})
 		c.Logf = func(string, ...any) {}
+	case c.Logger == nil:
+		c.Logger = slog.New(logfHandler{f: c.Logf})
+	case c.Logf == nil:
+		logger := c.Logger
+		c.Logf = func(format string, args ...any) {
+			logger.Info(fmt.Sprintf(format, args...))
+		}
 	}
 	return c
 }
 
 // Server is the sweep service.  It implements http.Handler.
 type Server struct {
-	cfg   Config
-	mux   *http.ServeMux
-	sched *sched.Scheduler
-	bus   *eventBus
+	cfg     Config
+	mux     *http.ServeMux
+	handler http.Handler // mux wrapped in the request-metrics middleware
+	sched   *sched.Scheduler
+	bus     *eventBus
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -184,6 +202,14 @@ type Server struct {
 	// has its own mutex and is checked before s.mu is ever taken.
 	quota *clientQuota
 
+	// Latency histograms (see histogram.go).  Record paths are lock-free
+	// atomics, NOT guarded by mu: schedWait is observed per class by the
+	// scheduler's OnDequeue callback, execSeconds per class at the terminal
+	// transition, and httpMetrics per (route, code) by the middleware.
+	schedWait   [sched.NumClasses]histogram
+	execSeconds [sched.NumClasses]histogram
+	httpMetrics *httpMetrics
+
 	// simsCompleted counts simulations finished across all sweeps (cell
 	// hits included).  It is an atomic, NOT guarded by mu: the per-sim
 	// progress callback adds to it lock-free (see progressCallback), and
@@ -201,16 +227,17 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:       cfg,
-		mux:       http.NewServeMux(),
-		bus:       newEventBus(cfg.EventBuffer, cfg.EventLog),
-		jobs:      make(map[string]*Job),
-		batches:   make(map[string]*Batch),
-		cache:     newResultCache(cfg.CacheEntries),
-		startedAt: time.Now(),
-		simRate:   newRateWindow(time.Minute, time.Now),
-		loopDone:  make(chan struct{}),
-		quota:     newClientQuota(cfg.ClientRate, cfg.ClientBurst, time.Now),
+		cfg:         cfg,
+		mux:         http.NewServeMux(),
+		bus:         newEventBus(cfg.EventBuffer, cfg.EventLog),
+		jobs:        make(map[string]*Job),
+		batches:     make(map[string]*Batch),
+		cache:       newResultCache(cfg.CacheEntries),
+		startedAt:   time.Now(),
+		simRate:     newRateWindow(time.Minute, time.Now),
+		loopDone:    make(chan struct{}),
+		quota:       newClientQuota(cfg.ClientRate, cfg.ClientBurst, time.Now),
+		httpMetrics: newHTTPMetrics(),
 	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	s.sched = sched.New(sched.Config{
@@ -240,6 +267,18 @@ func New(cfg Config) *Server {
 			s.mu.Unlock()
 			s.cfg.Logf("sweep %s: aged %s -> %s after queue wait", e.key, from, to)
 		},
+		// OnDequeue runs on the worker goroutine with no scheduler lock
+		// held: it feeds the per-class queue-wait histogram and stamps the
+		// dequeued phase on every job riding the execution.
+		OnDequeue: func(payload any, class sched.Class, wait time.Duration) {
+			if class >= 0 && class < sched.NumClasses {
+				s.schedWait[class].Observe(wait.Seconds())
+			}
+			e := payload.(*entry)
+			s.mu.Lock()
+			markJobsLocked(e, phaseDequeued, time.Now())
+			s.mu.Unlock()
+		},
 	})
 	s.sched.Start(func(payload any) { s.runEntry(payload.(*entry)) })
 	go func() {
@@ -254,7 +293,9 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/sweeps/{id}/figures", s.handleFigures)
 	s.mux.HandleFunc("GET /v1/sweeps/{id}/results", s.handleResults)
 	s.mux.HandleFunc("GET /v1/sweeps/{id}/events", s.handleJobEvents)
+	s.mux.HandleFunc("GET /v1/sweeps/{id}/trace", s.handleJobTrace)
 	s.mux.HandleFunc("GET /v1/batches/{id}/events", s.handleBatchEvents)
+	s.mux.HandleFunc("GET /v1/batches/{id}/trace", s.handleBatchTrace)
 	s.mux.HandleFunc("GET /v1/events", s.handleFirehose)
 	s.mux.HandleFunc("POST /v1/batches", s.handleSubmitBatch)
 	s.mux.HandleFunc("GET /v1/batches/{id}", s.handleGetBatch)
@@ -262,11 +303,12 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/sims", s.handleSims)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.handler = s.instrument(s.mux)
 	return s
 }
 
 // ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.handler.ServeHTTP(w, r) }
 
 // Close cancels every in-flight execution and stops the workers.  Pending
 // queue entries are drained (and observed cancelled) before Close returns,
@@ -302,10 +344,12 @@ func (s *Server) runEntry(e *entry) {
 	}
 	e.state = StateRunning
 	now := time.Now()
+	e.execStart = now
 	for _, j := range e.jobs {
 		if j.state == StateQueued {
 			j.state = StateRunning
 			j.startedAt = now
+			j.trace.mark(phaseExecuting, now)
 			s.publishJobLocked(j, eventState)
 		}
 	}
@@ -330,6 +374,9 @@ func (s *Server) runEntry(e *entry) {
 	// handlers or progress callbacks — and once a job is observably done,
 	// its result is already durable.
 	if err == nil && s.cfg.Store != nil {
+		s.mu.Lock()
+		markJobsLocked(e, phasePersisting, time.Now())
+		s.mu.Unlock()
 		if perr := s.cfg.Store.PutRanked(store.KindSweep, e.key, int(class), res); perr != nil {
 			s.cfg.Logf("store: persisting sweep %s: %v", e.key, perr)
 		}
@@ -480,6 +527,11 @@ func (s *Server) finishLocked(e *entry, res *refrint.SweepResults, err error) {
 		return
 	}
 	now := time.Now()
+	if !e.execStart.IsZero() {
+		// The execution occupied a worker (done, failed, or cancelled
+		// mid-run — never for a cancel while still queued).
+		s.execSeconds[e.class].Observe(now.Sub(e.execStart).Seconds())
+	}
 	switch {
 	case err == nil:
 		e.state = StateDone
@@ -510,10 +562,22 @@ func (s *Server) finishLocked(e *entry, res *refrint.SweepResults, err error) {
 		if j.startedAt.IsZero() && e.state == StateDone {
 			j.startedAt = now
 		}
+		j.trace.mark(string(e.state), now)
 		j.freezeProgress()
 		s.publishJobLocked(j, string(j.state))
+		s.logTerminalLocked(j, now)
 	}
 	e.cancel() // release the context's resources in every path
+}
+
+// logTerminalLocked emits the structured terminal log line for one job,
+// carrying the phase-duration breakdown of its whole lifecycle.  Caller
+// holds the server mutex.
+func (s *Server) logTerminalLocked(j *Job, now time.Time) {
+	v := j.traceView(now)
+	s.jobLogger(j).Info("job "+string(j.state),
+		"total_seconds", v.TotalSeconds,
+		"phases", j.phaseSummary(now))
 }
 
 // --- HTTP handlers ---
@@ -563,6 +627,9 @@ func classFor(label string, def sched.Class) (sched.Class, error) {
 // existing execution of the same sweep if one is in flight or cached
 // (singleflight), otherwise enqueue a fresh execution.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	tr := trace{id: requestTraceID(r)}
+	tr.mark(phaseReceived, time.Now())
+	w.Header().Set("X-Request-Id", tr.id)
 	var req refrint.SweepRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
@@ -584,6 +651,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	tr.mark(phaseValidated, time.Now())
 	if ok, wait := s.quota.allow(req.Client, 1); !ok {
 		w.Header().Set("Retry-After", fmt.Sprint(retryAfterSeconds(wait)))
 		writeError(w, http.StatusTooManyRequests,
@@ -606,7 +674,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
 		return
 	}
-	job, ok := s.submitJobLocked(req, opts, key, class, class)
+	job, ok := s.submitJobLocked(req, opts, key, class, class, tr)
 	if !ok {
 		s.mu.Unlock()
 		// A capacity rejection gives the token back: the client honoring the
@@ -637,7 +705,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 // full.  Caller holds the server mutex; both POST /v1/sweeps and POST
 // /v1/batches funnel through here, which keeps every scheduler mutation
 // serialized under it.
-func (s *Server) submitJobLocked(req refrint.SweepRequest, opts sweep.Options, key string, class, entryClass sched.Class) (*Job, bool) {
+func (s *Server) submitJobLocked(req refrint.SweepRequest, opts sweep.Options, key string, class, entryClass sched.Class, tr trace) (*Job, bool) {
 	s.nextID++
 	job := &Job{
 		id:        fmt.Sprintf("job-%06d", s.nextID),
@@ -646,7 +714,9 @@ func (s *Server) submitJobLocked(req refrint.SweepRequest, opts sweep.Options, k
 		class:     class,
 		state:     StateQueued,
 		createdAt: time.Now(),
+		trace:     tr,
 	}
+	job.trace.mark(phaseAdmitted, job.createdAt)
 
 	e, hit := s.cache.lookup(key)
 	if hit {
@@ -662,16 +732,25 @@ func (s *Server) submitJobLocked(req refrint.SweepRequest, opts sweep.Options, k
 			job.cacheHit = true
 			job.startedAt = job.createdAt
 			job.endedAt = job.createdAt
+			shortcut := phaseCacheHit
+			if e.revived {
+				shortcut = phaseRevived
+			}
+			job.trace.mark(shortcut, job.createdAt)
+			job.trace.mark(string(StateDone), job.createdAt)
 			job.freezeProgress()
 			s.sweepCacheHits++
+			s.logTerminalLocked(job, job.createdAt)
 		case StateRunning:
 			e.jobs = append(e.jobs, job)
 			job.state = StateRunning
 			job.startedAt = job.createdAt
+			job.trace.mark(phaseExecuting, job.createdAt)
 			e.refs++
 			s.sweepCacheMisses++
 		default:
 			e.jobs = append(e.jobs, job)
+			job.trace.mark(phaseQueued, job.createdAt)
 			e.refs++
 			s.sweepCacheMisses++
 			// Priority inheritance: a more urgent job attaching to a
@@ -704,9 +783,11 @@ func (s *Server) submitJobLocked(req refrint.SweepRequest, opts sweep.Options, k
 			return nil, false
 		}
 		e.handle = h
+		job.trace.mark(phaseQueued, job.createdAt)
 		s.cache.put(e)
 		s.cfg.Logf("sweep %s: queued %s (%d sims)", key, entryClass, e.total.Load())
 	}
+	s.jobLogger(job).Debug("job admitted", "state", string(job.state))
 	s.jobs[job.id] = job
 	s.jobOrder = append(s.jobOrder, job.id)
 	s.evictJobsLocked()
@@ -772,9 +853,10 @@ func (s *Server) installDoneEntryLocked(key string, res *refrint.SweepResults) {
 		cancel: func() {},
 		// Revived results are already durable in the store, so they are the
 		// cheapest thing in the cache to lose: rank them for eviction first.
-		class: sched.Background,
-		state: StateDone,
-		res:   res,
+		class:   sched.Background,
+		state:   StateDone,
+		res:     res,
+		revived: true,
 	}
 	e.total.Store(int64(res.Options.Size()))
 	e.done.Store(e.total.Load())
@@ -891,8 +973,10 @@ func (s *Server) cancelJobLocked(job *Job) *entry {
 	job.state = StateCancelled
 	job.err = context.Canceled
 	job.endedAt = time.Now()
+	job.trace.mark(string(StateCancelled), job.endedAt)
 	job.freezeProgress()
 	s.publishJobLocked(job, string(StateCancelled))
+	s.logTerminalLocked(job, job.endedAt)
 	e := job.entry
 	e.refs--
 	if e.refs > 0 {

@@ -1,0 +1,126 @@
+#!/usr/bin/env sh
+# Metrics/observability smoke test: boots a real refrint-serve (with the
+# debug listener on), runs a tiny sweep, and asserts end to end that
+#   - /metrics is well-formed: the new histogram families are present, their
+#     bucket counts are cumulative, and +Inf matches _count;
+#   - /v1/sweeps/{id}/trace returns a monotonic timeline ending terminal;
+#   - X-Request-Id round-trips into the job's trace;
+#   - pprof/expvar answer on -debug-addr and are NOT on the public listener.
+# CI runs this next to sse-smoke.sh; locally: scripts/metrics-smoke.sh
+set -eu
+
+port="${METRICS_SMOKE_PORT:-18090}"
+dbgport="${METRICS_SMOKE_DEBUG_PORT:-18091}"
+base="http://127.0.0.1:$port"
+dbg="http://127.0.0.1:$dbgport"
+tmp="$(mktemp -d)"
+pid=""
+
+cleanup() {
+    [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+fail() {
+    echo "metrics-smoke: FAIL: $1" >&2
+    [ -f "$2" ] && { echo "--- $2 ---" >&2; cat "$2" >&2; }
+    [ -f "$tmp/serve.log" ] && { echo "--- serve.log ---" >&2; cat "$tmp/serve.log" >&2; }
+    exit 1
+}
+
+go build -o "$tmp/refrint-serve" ./cmd/refrint-serve
+"$tmp/refrint-serve" -addr "127.0.0.1:$port" -debug-addr "127.0.0.1:$dbgport" \
+    -log-format json >"$tmp/serve.log" 2>&1 &
+pid=$!
+
+up=""
+for _ in $(seq 1 50); do
+    if curl -sf "$base/healthz" >/dev/null 2>&1; then up=1; break; fi
+    sleep 0.2
+done
+[ -n "$up" ] || fail "server never came up on $base" /dev/null
+
+# Run one sweep to completion so the scheduler and execution histograms have
+# observations, stamping a known request ID.
+job=$(curl -sf -X POST "$base/v1/sweeps" -H 'X-Request-Id: smoke-trace-1' \
+    -d '{"apps":["FFT"],"retention_times_us":[50],"policies":["R.valid"],"effort_scale":0.05,"workers":2}')
+id=$(printf '%s' "$job" | sed -n 's/.*"id": *"\([^"]*\)".*/\1/p' | head -n 1)
+[ -n "$id" ] || fail "no job id in response: $job" /dev/null
+
+finished=""
+for _ in $(seq 1 150); do
+    state=$(curl -sf "$base/v1/sweeps/$id" | sed -n 's/.*"state": *"\([^"]*\)".*/\1/p' | head -n 1)
+    if [ "$state" = "done" ]; then finished=1; break; fi
+    case "$state" in failed|cancelled) fail "job ended $state" /dev/null ;; esac
+    sleep 0.2
+done
+[ -n "$finished" ] || fail "job never completed" /dev/null
+
+# --- /metrics: histogram families present and cumulative -------------------
+curl -sf "$base/metrics" >"$tmp/metrics.txt" || fail "GET /metrics failed" /dev/null
+for fam in refrint_http_request_seconds refrint_sched_wait_seconds refrint_exec_seconds; do
+    grep -q "^# TYPE $fam histogram\$" "$tmp/metrics.txt" \
+        || fail "missing histogram TYPE for $fam" "$tmp/metrics.txt"
+    grep -q "^${fam}_bucket{.*le=\"+Inf\"}" "$tmp/metrics.txt" \
+        || fail "$fam has no +Inf bucket" "$tmp/metrics.txt"
+done
+grep -q '^refrint_build_info{' "$tmp/metrics.txt" || fail "missing refrint_build_info" "$tmp/metrics.txt"
+
+# Bucket counts must never decrease as le grows, per series, and +Inf must
+# equal the series' _count.  Portable awk: the sample value is the last
+# whitespace-separated token even when label values contain spaces.
+awk '
+    /_bucket\{/ && /le="/ {
+        cnt = $NF + 0
+        key = $0
+        sub(/,?le="[^"]*"\} [0-9]+$/, "", key)
+        if (key in prev && cnt < prev[key]) {
+            print "non-cumulative bucket: " $0
+            exit 1
+        }
+        prev[key] = cnt
+        inf[key] = cnt
+        next
+    }
+    /_count\{/ {
+        cnt = $NF + 0
+        key = $0
+        sub(/\} [0-9]+$/, "", key)
+        sub(/_count\{/, "_bucket{", key)
+        if (key in inf && inf[key] != cnt) {
+            print "+Inf bucket != _count: " $0 " (buckets say " inf[key] ")"
+            exit 1
+        }
+    }
+' "$tmp/metrics.txt" >"$tmp/awk.err" || fail "histogram lint: $(cat "$tmp/awk.err")" "$tmp/metrics.txt"
+
+# The scrape above flowed through the middleware: the next scrape must show
+# the /metrics route itself.
+curl -sf "$base/metrics" | grep -q 'refrint_http_request_seconds_count{route="GET /metrics"' \
+    || fail "HTTP histogram did not record the /metrics route" "$tmp/metrics.txt"
+
+# --- /trace: monotonic timeline, terminal tail, request ID -----------------
+curl -sf "$base/v1/sweeps/$id/trace" >"$tmp/trace.json" || fail "GET trace failed" /dev/null
+grep -q '"trace_id": *"smoke-trace-1"' "$tmp/trace.json" \
+    || fail "trace did not carry the X-Request-Id" "$tmp/trace.json"
+for phase in received validated admitted queued executing done; do
+    grep -q "\"phase\": *\"$phase\"" "$tmp/trace.json" \
+        || fail "trace missing phase $phase" "$tmp/trace.json"
+done
+# Timestamps in span order never decrease (the trailing Z/offset is stripped
+# so a fractionless second still sorts before the same second with a
+# fraction), and no span duration is negative.
+grep -o '"at": *"[^"]*"' "$tmp/trace.json" | sed 's/.*"at": *"//;s/Z"$//;s/"$//' >"$tmp/ats.txt"
+sort -C "$tmp/ats.txt" || fail "trace timeline is not monotonic" "$tmp/trace.json"
+if grep -q '"seconds": *-' "$tmp/trace.json"; then
+    fail "trace has a negative span duration" "$tmp/trace.json"
+fi
+
+# --- debug listener: private yes, public no --------------------------------
+curl -sf "$dbg/debug/pprof/" >/dev/null || fail "pprof index not served on -debug-addr" /dev/null
+curl -sf "$dbg/debug/vars" | grep -q '"memstats"' || fail "expvar not served on -debug-addr" /dev/null
+code=$(curl -s -o /dev/null -w '%{http_code}' "$base/debug/pprof/")
+[ "$code" = "404" ] || fail "public listener serves /debug/pprof/ (code $code), must 404" /dev/null
+
+echo "metrics-smoke: OK ($id traced, histograms cumulative, debug listener isolated)"
