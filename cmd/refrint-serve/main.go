@@ -45,6 +45,7 @@ import (
 	"syscall"
 	"time"
 
+	"refrint/internal/faults"
 	"refrint/internal/sched"
 	"refrint/internal/server"
 	"refrint/internal/store"
@@ -122,6 +123,9 @@ func main() {
 		clientRate     = flag.Float64("client-rate", 0, "per-client submission rate limit in requests/second (0 = no limit); over-quota submissions get 429 with Retry-After")
 		clientBurst    = flag.Int("client-burst", 0, "per-client submission burst with -client-rate (0 = ceil(client-rate))")
 		ageAfter       = flag.Duration("age-after", 0, "age a queued sweep one priority class up after waiting this long (0 = never), so interactive floods cannot starve background work forever")
+		jobTimeout     = flag.Duration("job-timeout", 0, "fail any sweep execution that outlives this wall-clock bound (0 = none); a request's timeout_ms may only lower it")
+		drainTimeout   = flag.Duration("drain-timeout", 10*time.Second, "on SIGTERM/SIGINT, how long in-flight sweeps get to finish before the hard stop")
+		faultSpec      = flag.String("fault-spec", "", "inject faults for chaos testing, e.g. 'store.put:error:0.5,sim.run:panic:0.01' (point:mode[:arg][:rate], comma-separated; NEVER set in production)")
 		logFormat      = flag.String("log-format", "text", "structured log format: text or json")
 		logLevel       = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
 		debugAddr      = flag.String("debug-addr", "", "serve pprof and expvar debugging endpoints on this address (e.g. localhost:6060); keep it private — it exposes profiles, never enable it on the public listener")
@@ -146,6 +150,15 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "refrint-serve:", err)
 		os.Exit(2)
+	}
+	if *faultSpec != "" {
+		inj, err := faults.Parse(*faultSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "refrint-serve:", err)
+			os.Exit(2)
+		}
+		faults.Enable(inj)
+		logger.Warn("fault injection active — this process WILL misbehave on purpose", "spec", *faultSpec)
 	}
 
 	var st *store.Store
@@ -174,6 +187,7 @@ func main() {
 		ClientRate:      *clientRate,
 		ClientBurst:     *clientBurst,
 		AgeAfter:        *ageAfter,
+		JobTimeout:      *jobTimeout,
 		Store:           st,
 		Logger:          logger,
 	})
@@ -183,6 +197,12 @@ func main() {
 		Addr:              *addr,
 		Handler:           svc,
 		ReadHeaderTimeout: 10 * time.Second,
+		// Reap idle keep-alive connections so forgotten clients cannot pin
+		// sockets forever.  WriteTimeout deliberately stays 0: SSE /events
+		// responses are long-lived streams and a write deadline would sever
+		// every subscriber mid-stream (slow consumers are already bounded by
+		// the event bus's per-subscriber buffer instead).
+		IdleTimeout: 2 * time.Minute,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -193,6 +213,7 @@ func main() {
 			Addr:              *debugAddr,
 			Handler:           debugMux(),
 			ReadHeaderTimeout: 10 * time.Second,
+			IdleTimeout:       2 * time.Minute,
 		}
 		go func() {
 			logger.Info("debug listener (pprof, expvar) up", "addr", *debugAddr)
@@ -216,7 +237,21 @@ func main() {
 			os.Exit(1)
 		}
 	case <-ctx.Done():
-		logger.Info("shutting down")
+		// Graceful drain: stop admitting (submissions 503 with Retry-After,
+		// /healthz flips to "closing" so load balancers route away), give
+		// in-flight sweeps -drain-timeout to finish, then hard-stop.
+		logger.Info("shutting down: draining", "drain_timeout", *drainTimeout)
+		svc.BeginDrain(*drainTimeout)
+		drainCtx, cancelDrain := context.WithTimeout(context.Background(), *drainTimeout)
+		err := svc.Drain(drainCtx)
+		cancelDrain()
+		if err != nil {
+			logger.Warn("drain incomplete, aborting remaining sweeps", "err", err)
+		}
+		// Close before Shutdown: it flushes terminal events and ends the SSE
+		// streams whose open responses would otherwise hold Shutdown until
+		// its deadline.  Idempotent with the deferred Close above.
+		svc.Close()
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		_ = httpSrv.Shutdown(shutdownCtx)

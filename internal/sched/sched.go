@@ -32,6 +32,7 @@ package sched
 
 import (
 	"fmt"
+	"runtime/debug"
 	"sync"
 	"time"
 )
@@ -107,6 +108,13 @@ type Config struct {
 	// scheduler mutex, so callbacks may call back into the scheduler or
 	// take their own locks.
 	OnAge func(payload any, from, to Class)
+	// OnPanic, when set, receives every panic recovered from a run
+	// callback, an OnDequeue hook or an aging-scan callback.  Worker goroutines always recover: a
+	// panicking callback loses its item, never the worker (and with it the
+	// process).  With OnPanic unset the recovered value is discarded, so
+	// owners that need the signal (the server logs it and fails the job)
+	// must install the hook.  Called outside the scheduler mutex.
+	OnPanic func(payload any, recovered any, stack []byte)
 	// OnDequeue, when set, is invoked by the worker that popped an item,
 	// after the scheduler mutex is released and before run executes it,
 	// with the class the item was dequeued from and the time it spent
@@ -367,8 +375,10 @@ func (s *Scheduler) Promote(h Handle, to Class) (Handle, bool) {
 }
 
 // Start spawns the worker goroutines; run is invoked once per dequeued
-// payload.  Items submitted before Start simply wait.  With AgeAfter set it
-// also spawns the aging ticker, which stops when Close is called.
+// payload, behind a recover guard (see Config.OnPanic) so a panicking
+// callback can never kill a worker.  Items submitted before Start simply
+// wait.  With AgeAfter set it also spawns the aging ticker, which stops when
+// Close is called.
 func (s *Scheduler) Start(run func(payload any)) {
 	for i := 0; i < s.cfg.Workers; i++ {
 		s.wg.Add(1)
@@ -379,10 +389,7 @@ func (s *Scheduler) Start(run func(payload any)) {
 				if it == nil {
 					return
 				}
-				if s.cfg.OnDequeue != nil {
-					s.cfg.OnDequeue(it.payload, it.class, it.wait)
-				}
-				run(it.payload)
+				s.dispatchGuarded(run, it)
 				s.done(it)
 			}
 		}(i)
@@ -391,6 +398,9 @@ func (s *Scheduler) Start(run func(payload any)) {
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
+			// The aging scan calls the external OnAge hook; guard it like
+			// run so a buggy callback cannot kill the ticker goroutine.
+			age := func(any) { s.AgeOnce() }
 			t := time.NewTicker(s.cfg.AgeInterval)
 			defer t.Stop()
 			for {
@@ -398,11 +408,40 @@ func (s *Scheduler) Start(run func(payload any)) {
 				case <-s.quit:
 					return
 				case <-t.C:
-					s.AgeOnce()
+					s.runGuarded(age, nil)
 				}
 			}
 		}()
 	}
+}
+
+// dispatchGuarded runs one dequeued item — the OnDequeue hook and then run —
+// inside a single panic guard: a panic in either loses only this item (run
+// does not execute after a panicking OnDequeue; the caller still reaches
+// done(it) to release the slot), never the worker.
+func (s *Scheduler) dispatchGuarded(run func(payload any), it *item) {
+	defer func() {
+		if r := recover(); r != nil && s.cfg.OnPanic != nil {
+			s.cfg.OnPanic(it.payload, r, debug.Stack())
+		}
+	}()
+	if s.cfg.OnDequeue != nil {
+		s.cfg.OnDequeue(it.payload, it.class, it.wait)
+	}
+	run(it.payload)
+}
+
+// runGuarded invokes run(payload) with panic containment: a recovered panic
+// is handed to Config.OnPanic (when set) with the panicking goroutine's
+// stack, and the caller's goroutine survives.  Deliberately not a closure
+// over any loop body — callers on hot paths stay allocation-free.
+func (s *Scheduler) runGuarded(run func(payload any), payload any) {
+	defer func() {
+		if r := recover(); r != nil && s.cfg.OnPanic != nil {
+			s.cfg.OnPanic(payload, r, debug.Stack())
+		}
+	}()
+	run(payload)
 }
 
 // Close rejects further submissions, lets the workers drain every queued

@@ -180,10 +180,11 @@ func (s *Server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
 	}
 
 	type planned struct {
-		req   refrint.SweepRequest
-		opts  sweep.Options
-		key   string
-		class sched.Class
+		req     refrint.SweepRequest
+		opts    sweep.Options
+		key     string
+		class   sched.Class
+		timeout time.Duration
 	}
 	plan := make([]planned, 0, len(breq.Requests))
 	for i, sub := range breq.Requests {
@@ -207,7 +208,9 @@ func (s *Server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
 		if s.cfg.SweepWorkers > 0 && opts.Workers > s.cfg.SweepWorkers {
 			opts.Workers = s.cfg.SweepWorkers
 		}
-		plan = append(plan, planned{req: sub, opts: opts, key: opts.Key(), class: class})
+		// The server cap applies per member, exactly like a lone submission.
+		plan = append(plan, planned{req: sub, opts: opts, key: opts.Key(), class: class,
+			timeout: s.effectiveTimeout(sub.TimeoutMS)})
 	}
 	// All members validated together; each gets its own trace keyed off the
 	// request's trace ID so one batch submission fans out as reqID.0,
@@ -249,9 +252,13 @@ func (s *Server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
 	}
 
 	s.mu.Lock()
-	if s.closed {
+	if s.closed || s.draining {
+		retryAfter := s.drainRetryAfter
 		s.mu.Unlock()
 		s.quota.refund(charged)
+		if retryAfter > 0 {
+			w.Header().Set("Retry-After", fmt.Sprint(retryAfter))
+		}
 		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
 		return
 	}
@@ -346,7 +353,7 @@ func (s *Server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
 		tr := trace{id: fmt.Sprintf("%s.%d", reqID, i)}
 		tr.mark(phaseReceived, received)
 		tr.mark(phaseValidated, validated)
-		job, ok := s.submitJobLocked(p.req, p.opts, p.key, p.class, effClass[p.key], tr)
+		job, ok := s.submitJobLocked(p.req, p.opts, p.key, p.class, effClass[p.key], p.timeout, tr)
 		if !ok {
 			// Reachable only when queue-wait aging moved items into this
 			// class after the capacity check (submissions themselves stay

@@ -579,7 +579,7 @@ func TestRollbackBatchLocked(t *testing.T) {
 			s.mu.Unlock()
 			t.Fatal(err)
 		}
-		job, ok := s.submitJobLocked(req, opts, opts.Key(), sched.Batch, sched.Batch, trace{id: newTraceID()})
+		job, ok := s.submitJobLocked(req, opts, opts.Key(), sched.Batch, sched.Batch, 0, trace{id: newTraceID()})
 		if !ok {
 			s.mu.Unlock()
 			t.Fatal("submitJobLocked rejected")

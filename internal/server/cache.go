@@ -29,6 +29,14 @@ type entry struct {
 
 	state State // queued → running → done | failed | cancelled
 
+	// timeout bounds the execution's wall time once a worker picks it up
+	// (0 = none); set at creation from the first submitter's effective
+	// timeout_ms — attachers share the run, so they share its deadline.
+	// reason is the terminal failure classification ("panic" or "deadline
+	// exceeded"), empty for ordinary errors and non-failed states.
+	timeout time.Duration
+	reason  string
+
 	// execStart is when a worker began executing the sweep (zero if it
 	// never ran); finishLocked feeds it into the per-class execution-time
 	// histogram.  revived marks a done entry restored from the persistent

@@ -1,0 +1,271 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"refrint"
+	"refrint/internal/faults"
+	"refrint/internal/store"
+)
+
+// Chaos suite: drives the fault-injection harness (internal/faults) through
+// the whole service stack and verifies the containment story end to end —
+// panics lose one job, deadlines free their worker, a dead disk degrades the
+// store without failing sweeps, and a draining server turns work away
+// politely.  The injector is process-global, so none of these tests run in
+// parallel.
+
+// enableFaults parses and activates a fault spec for the test's duration.
+func enableFaults(t *testing.T, spec string) {
+	t.Helper()
+	inj, err := faults.Parse(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults.Enable(inj)
+	t.Cleanup(faults.Disable)
+}
+
+// TestChaosSimPanic verifies a panicking simulation cell fails exactly its
+// own job — reason "panic", counted at site "sim" — while the server stays
+// healthy and the next sweep runs normally.
+func TestChaosSimPanic(t *testing.T) {
+	h := newHarness(t, Config{})
+	enableFaults(t, "sim.run:panic")
+
+	view, status := h.submit(tinyRequest(1))
+	if status != http.StatusAccepted {
+		t.Fatalf("POST status = %d, want %d", status, http.StatusAccepted)
+	}
+	failed := h.waitState(view.ID, StateFailed)
+	if failed.Reason != "panic" {
+		t.Errorf("failed job reason = %q, want %q", failed.Reason, "panic")
+	}
+	if !strings.Contains(failed.Error, "panic in cell") {
+		t.Errorf("failed job error = %q, want the contained panic", failed.Error)
+	}
+
+	var hz healthz
+	if resp := h.do("GET", "/healthz", nil, &hz); resp.StatusCode != http.StatusOK || hz.Status != "ok" {
+		t.Errorf("healthz after panic = (%d, %q), want (200, ok)", resp.StatusCode, hz.Status)
+	}
+	if got := metricValue(t, h.metricsText(), `refrint_panics_total{site="sim"}`); got < 1 {
+		t.Errorf("refrint_panics_total{site=sim} = %g, want >= 1", got)
+	}
+
+	// The process survived: with injection off, the next sweep completes.
+	faults.Disable()
+	next, status := h.submit(tinyRequest(2))
+	if status != http.StatusAccepted {
+		t.Fatalf("follow-up POST status = %d, want %d", status, http.StatusAccepted)
+	}
+	h.waitState(next.ID, StateDone)
+}
+
+// TestChaosJobDeadline verifies timeout_ms: the job turns terminal failed
+// with the deadline reason (and trace phase), the worker slot is freed for
+// the next submission, and the timeout is counted by class.
+func TestChaosJobDeadline(t *testing.T) {
+	exec := newBlockingExec()
+	h := newHarness(t, Config{Execute: exec.fn, Shards: 1})
+
+	req := tinyRequest(1)
+	req.TimeoutMS = 1
+	view, status := h.submit(req)
+	if status != http.StatusAccepted {
+		t.Fatalf("POST status = %d, want %d", status, http.StatusAccepted)
+	}
+	<-exec.started // the worker picked it up; never released, only timed out
+
+	failed := h.waitState(view.ID, StateFailed)
+	if failed.Reason != "deadline exceeded" {
+		t.Errorf("failed job reason = %q, want %q", failed.Reason, "deadline exceeded")
+	}
+	if !strings.Contains(failed.Error, "deadline exceeded") {
+		t.Errorf("failed job error = %q, want a deadline", failed.Error)
+	}
+	tv := h.getTrace(view.ID)
+	var sawPhase bool
+	for _, sp := range tv.Spans {
+		if sp.Phase == "deadline-exceeded" {
+			sawPhase = true
+		}
+	}
+	if !sawPhase {
+		t.Errorf("trace spans %+v missing the deadline-exceeded phase", tv.Spans)
+	}
+	if got := metricValue(t, h.metricsText(), `refrint_job_timeouts_total{class="interactive"}`); got != 1 {
+		t.Errorf("refrint_job_timeouts_total{class=interactive} = %g, want 1", got)
+	}
+
+	// The single worker is free again: a follow-up is admitted (202) and,
+	// once released, completes.
+	next, status := h.submit(tinyRequest(2))
+	if status != http.StatusAccepted {
+		t.Fatalf("follow-up POST status = %d, want %d", status, http.StatusAccepted)
+	}
+	<-exec.started
+	close(exec.release)
+	h.waitState(next.ID, StateDone)
+}
+
+// TestTimeoutValidation pins the wire contract: negative timeout_ms is a 400.
+func TestTimeoutValidation(t *testing.T) {
+	h := newHarness(t, Config{})
+	req := tinyRequest(1)
+	req.TimeoutMS = -5
+	if _, status := h.submit(req); status != http.StatusBadRequest {
+		t.Fatalf("POST with timeout_ms=-5: status %d, want %d", status, http.StatusBadRequest)
+	}
+}
+
+// TestEffectiveTimeout pins the cap arithmetic: requests may lower the
+// server bound, never raise or disable it.
+func TestEffectiveTimeout(t *testing.T) {
+	capped := &Server{cfg: Config{JobTimeout: 50 * time.Millisecond}}
+	uncapped := &Server{}
+	cases := []struct {
+		s    *Server
+		ms   int64
+		want time.Duration
+	}{
+		{capped, 0, 50 * time.Millisecond},     // no request bound: the cap applies
+		{capped, 10, 10 * time.Millisecond},    // lower than the cap: honored
+		{capped, 10000, 50 * time.Millisecond}, // above the cap: clamped
+		{uncapped, 0, 0},                       // no bounds anywhere
+		{uncapped, 10, 10 * time.Millisecond},
+	}
+	for _, c := range cases {
+		if got := c.s.effectiveTimeout(c.ms); got != c.want {
+			t.Errorf("effectiveTimeout(%d) with cap %v = %v, want %v",
+				c.ms, c.s.cfg.JobTimeout, got, c.want)
+		}
+	}
+}
+
+// TestChaosStoreDegradation verifies the full store-degradation story at the
+// service level: persistent write failures never fail a sweep, /healthz
+// reports degraded (200 — the service still works) with the cause, and once
+// the faults stop the probe restores disk persistence.
+func TestChaosStoreDegradation(t *testing.T) {
+	st, err := store.Open(t.TempDir(), store.Options{
+		WriteRetries:  1,
+		RetryBase:     time.Millisecond,
+		DegradeAfter:  1,
+		ProbeInterval: 5 * time.Millisecond,
+		Sleep:         func(time.Duration) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	h := newHarness(t, Config{Store: st})
+	enableFaults(t, "store.put:error")
+
+	view, status := h.submit(tinyRequest(1))
+	if status != http.StatusAccepted {
+		t.Fatalf("POST status = %d, want %d", status, http.StatusAccepted)
+	}
+	h.waitState(view.ID, StateDone) // a dead disk must not fail the sweep
+
+	var hz healthz
+	if resp := h.do("GET", "/healthz", nil, &hz); resp.StatusCode != http.StatusOK {
+		t.Fatalf("degraded healthz status = %d, want 200", resp.StatusCode)
+	}
+	if hz.Status != "degraded" || !strings.Contains(hz.Cause, "injected fault") {
+		t.Fatalf("healthz = (%q, %q), want degraded with the injected cause", hz.Status, hz.Cause)
+	}
+	if got := metricValue(t, h.metricsText(), "refrint_store_degraded"); got != 1 {
+		t.Errorf("refrint_store_degraded = %g, want 1", got)
+	}
+
+	// Stop injecting; the probe must flip the store back to healthy.
+	faults.Disable()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		h.do("GET", "/healthz", nil, &hz)
+		if hz.Status == "ok" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("healthz stuck at %q after faults stopped", hz.Status)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// Post-recovery sweeps persist again.
+	next, _ := h.submit(tinyRequest(2))
+	done := h.waitState(next.ID, StateDone)
+	if !st.Contains(store.KindSweep, done.Key) {
+		t.Error("post-recovery sweep not persisted")
+	}
+}
+
+// TestDrainRejectsNewWork verifies graceful drain: BeginDrain turns new
+// sweeps and batches away with 503 + Retry-After and flips /healthz to
+// closing (503), while the in-flight job runs to completion and Drain
+// observes it.
+func TestDrainRejectsNewWork(t *testing.T) {
+	exec := newBlockingExec()
+	h := newHarness(t, Config{Execute: exec.fn})
+
+	view, status := h.submit(tinyRequest(1))
+	if status != http.StatusAccepted {
+		t.Fatalf("POST status = %d, want %d", status, http.StatusAccepted)
+	}
+	<-exec.started
+	h.srv.BeginDrain(3 * time.Second)
+	if !h.srv.Draining() {
+		t.Fatal("Draining() = false after BeginDrain")
+	}
+
+	resp := h.do("POST", "/v1/sweeps", tinyRequest(2), nil)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining POST /v1/sweeps status = %d, want 503", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "3" {
+		t.Errorf("draining Retry-After = %q, want %q", got, "3")
+	}
+	resp = h.do("POST", "/v1/batches", BatchRequest{
+		Requests: []refrint.SweepRequest{tinyRequest(3)},
+	}, nil)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining POST /v1/batches status = %d, want 503", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "3" {
+		t.Errorf("draining batch Retry-After = %q, want %q", got, "3")
+	}
+
+	var hz healthz
+	resp = h.do("GET", "/healthz", nil, &hz)
+	if resp.StatusCode != http.StatusServiceUnavailable || hz.Status != "closing" {
+		t.Fatalf("draining healthz = (%d, %q), want (503, closing)", resp.StatusCode, hz.Status)
+	}
+
+	// The admitted job still finishes, and Drain returns once it has.
+	close(exec.release)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := h.srv.Drain(ctx); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if got := h.getJob(view.ID).State; got != StateDone {
+		t.Fatalf("in-flight job state after drain = %q, want done", got)
+	}
+}
+
+// TestChaosExecLatencyInjection smoke-tests latency-mode injection through a
+// real sweep: the sweep still completes, just slower.
+func TestChaosExecLatencyInjection(t *testing.T) {
+	h := newHarness(t, Config{})
+	enableFaults(t, "exec.latency:latency:5ms")
+	view, status := h.submit(tinyRequest(1))
+	if status != http.StatusAccepted {
+		t.Fatalf("POST status = %d, want %d", status, http.StatusAccepted)
+	}
+	h.waitState(view.ID, StateDone)
+}

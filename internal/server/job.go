@@ -70,7 +70,8 @@ type Job struct {
 	trace   trace       // lifecycle timeline + request trace ID (trace.go)
 
 	state     State
-	cacheHit  bool // completed from an already-cached result
+	cacheHit  bool   // completed from an already-cached result
+	reason    string // failure classification: "panic" or "deadline exceeded"
 	err       error
 	createdAt time.Time
 	startedAt time.Time // zero until running
@@ -145,8 +146,12 @@ type JobView struct {
 	// Phases is the compact per-phase duration summary (seconds) of the
 	// job's lifecycle timeline; GET /v1/sweeps/{id}/trace has the full
 	// ordered spans.
-	Phases  map[string]float64   `json:"phases,omitempty"`
-	Error   string               `json:"error,omitempty"`
+	Phases map[string]float64 `json:"phases,omitempty"`
+	Error  string             `json:"error,omitempty"`
+	// Reason classifies a failed job: "panic" (a simulation or hook
+	// panicked and was contained) or "deadline exceeded" (the job outlived
+	// its timeout).  Empty for ordinary errors and non-failed states.
+	Reason  string               `json:"reason,omitempty"`
 	Request refrint.SweepRequest `json:"request"`
 
 	CreatedAt  time.Time  `json:"created_at"`
@@ -163,6 +168,7 @@ func (j *Job) snapshot() JobView {
 		State:     j.state,
 		Priority:  j.class.String(),
 		CacheHit:  j.cacheHit,
+		Reason:    j.reason,
 		Phases:    j.phaseSummary(time.Now()),
 		Request:   j.request,
 		CreatedAt: j.createdAt,

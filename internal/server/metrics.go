@@ -44,6 +44,8 @@ type metricsSnapshot struct {
 	sweepHits        int64
 	sweepMisses      int64
 	sweepEvicted     [sched.NumClasses]int64
+	panics           map[string]int64
+	jobTimeouts      [sched.NumClasses]int64
 	windowed         float64
 }
 
@@ -56,6 +58,11 @@ func (s *Server) snapshotMetricsLocked() metricsSnapshot {
 		sweepHits:    s.sweepCacheHits,
 		sweepMisses:  s.sweepCacheMisses,
 		sweepEvicted: s.sweepCacheEvicted,
+		panics:       make(map[string]int64, len(s.panicsTotal)),
+		jobTimeouts:  s.jobTimeouts,
+	}
+	for site, n := range s.panicsTotal {
+		snap.panics[site] = n
 	}
 	for _, j := range s.jobs {
 		snap.byState[j.state]++
@@ -145,6 +152,31 @@ func (s *Server) renderMetrics(b *strings.Builder, snap metricsSnapshot) {
 		fmt.Fprintf(b, "refrint_sweep_cache_evicted_total{class=%q} %d\n", c.String(), snap.sweepEvicted[c])
 	}
 
+	// The known recovery sites are always exposed (zero included) so
+	// dashboards can rate() them from the first scrape; any further site
+	// that ever recorded a panic is appended after.
+	fmt.Fprintf(b, "# HELP refrint_panics_total Panics recovered without killing the process, by recovery site.\n# TYPE refrint_panics_total counter\n")
+	known := []string{"exec", "sched", "sim", "tick"}
+	for _, site := range known {
+		fmt.Fprintf(b, "refrint_panics_total{site=%q} %d\n", site, snap.panics[site])
+	}
+	extra := make([]string, 0, len(snap.panics))
+	for site := range snap.panics {
+		switch site {
+		case "exec", "sched", "sim", "tick":
+		default:
+			extra = append(extra, site)
+		}
+	}
+	sort.Strings(extra)
+	for _, site := range extra {
+		fmt.Fprintf(b, "refrint_panics_total{site=%q} %d\n", site, snap.panics[site])
+	}
+	fmt.Fprintf(b, "# HELP refrint_job_timeouts_total Sweep executions that hit their deadline and failed, by priority class.\n# TYPE refrint_job_timeouts_total counter\n")
+	for c := sched.Class(0); c < sched.NumClasses; c++ {
+		fmt.Fprintf(b, "refrint_job_timeouts_total{class=%q} %d\n", c.String(), snap.jobTimeouts[c])
+	}
+
 	if byClient, throttledTotal := s.quota.stats(); s.quota != nil {
 		fmt.Fprintf(b, "# HELP refrint_client_throttled_total Submissions rejected with 429 by the per-client rate limit.\n# TYPE refrint_client_throttled_total counter\n")
 		clients := make([]string, 0, len(byClient))
@@ -176,6 +208,13 @@ func (s *Server) renderMetrics(b *strings.Builder, snap metricsSnapshot) {
 		for rank, n := range ss.EvictionsByRank {
 			fmt.Fprintf(b, "refrint_store_evictions_rank_total{rank=\"%d\"} %d\n", rank, n)
 		}
+		degraded := 0
+		if ss.Degraded {
+			degraded = 1
+		}
+		gauge("refrint_store_degraded", "1 while the store runs memory-only after persistent write failures, 0 when healthy.", degraded)
+		counter("refrint_store_write_retries_total", "Transient blob-write failures retried with backoff.", ss.WriteRetries)
+		counter("refrint_store_degraded_puts_total", "Puts absorbed into memory while the store was degraded.", ss.DegradedPuts)
 	}
 
 	gauge("refrint_event_subscribers", "Open SSE subscriptions (job, batch and firehose streams).", subs)

@@ -9,6 +9,7 @@ import (
 	"math"
 	"net/http"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -91,6 +92,12 @@ type Config struct {
 	// EventLog bounds the per-topic SSE event log used to replay missed
 	// events on Last-Event-ID reconnects (default 64 events per topic).
 	EventLog int
+	// JobTimeout, where positive, bounds each sweep execution's wall time:
+	// the sweep runs under a context deadline and one that outlives it turns
+	// terminal failed with a deadline-exceeded reason, freeing its worker.
+	// A request's timeout_ms field may only lower the bound, never raise or
+	// disable it.  The default (0) imposes no server-wide deadline.
+	JobTimeout time.Duration
 	// Execute runs a sweep (default sweep.ExecuteContext).
 	Execute ExecuteFunc
 	// Store, when set, persists completed sweeps and individual simulation
@@ -193,11 +200,23 @@ type Server struct {
 	nextID      int
 	nextBatchID int
 	closed      bool
+	// draining means BeginDrain ran: submissions answer 503 with a
+	// Retry-After of drainRetryAfter seconds and /healthz reports closing,
+	// while admitted work keeps running to its own terminal state.
+	draining        bool
+	drainRetryAfter int
 
 	// Metrics counters (see handleMetrics).
 	sweepCacheHits    int64                   // submissions answered done immediately (memory or store)
 	sweepCacheMisses  int64                   // submissions that enqueued or attached to a live execution
 	sweepCacheEvicted [sched.NumClasses]int64 // result-cache evictions by execution class
+	// panicsTotal counts recovered panics by site: "sim" (inside a sweep
+	// cell), "exec" (the Execute wrapper), "sched" (scheduler callbacks) and
+	// "tick" (the SSE publish tick).  Every recovery is also logged with its
+	// stack.  jobTimeouts counts executions that hit their deadline, by
+	// class.  Both guarded by mu.
+	panicsTotal map[string]int64
+	jobTimeouts [sched.NumClasses]int64
 	// quota is the per-client admission limiter (nil with quotas off).  It
 	// has its own mutex and is checked before s.mu is ever taken.
 	quota *clientQuota
@@ -238,6 +257,7 @@ func New(cfg Config) *Server {
 		loopDone:    make(chan struct{}),
 		quota:       newClientQuota(cfg.ClientRate, cfg.ClientBurst, time.Now),
 		httpMetrics: newHTTPMetrics(),
+		panicsTotal: make(map[string]int64),
 	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	s.sched = sched.New(sched.Config{
@@ -278,6 +298,18 @@ func New(cfg Config) *Server {
 			s.mu.Lock()
 			markJobsLocked(e, phaseDequeued, time.Now())
 			s.mu.Unlock()
+		},
+		// OnPanic is the scheduler-side containment boundary: a panic that
+		// escapes runEntry (or the hooks above) loses only its execution —
+		// the worker survives — and the entry is failed here so its jobs
+		// reach a terminal state instead of hanging forever.
+		OnPanic: func(payload any, recovered any, stack []byte) {
+			s.recordPanic("sched", recovered, stack)
+			if e, ok := payload.(*entry); ok {
+				s.mu.Lock()
+				s.finishLocked(e, nil, fmt.Errorf("sweep execution panicked: %v: %w", recovered, errPanicked))
+				s.mu.Unlock()
+			}
 		},
 	})
 	s.sched.Start(func(payload any) { s.runEntry(payload.(*entry)) })
@@ -328,9 +360,68 @@ func (s *Server) Close() {
 	// publish inline), but batch terminals are tick-driven and the loop may
 	// already have exited on baseCancel — without this, a batch subscriber
 	// could lose its terminal event at shutdown.
-	s.publishTick()
+	s.safeTick()
 	s.bus.close()
 	<-s.loopDone
+}
+
+// BeginDrain flips the server into graceful-shutdown admission: new
+// submissions answer 503 with Retry-After (expect rounds up to the hint in
+// seconds, so well-behaved clients come back after this instance is gone or
+// healthy again) and /healthz reports "closing" with 503 so load balancers
+// stop routing here — while everything already admitted keeps running.
+// Idempotent; Close still does the hard stop afterwards.
+func (s *Server) BeginDrain(expect time.Duration) {
+	secs := max(int(math.Ceil(expect.Seconds())), 1)
+	s.mu.Lock()
+	s.draining = true
+	s.drainRetryAfter = secs
+	s.mu.Unlock()
+	s.cfg.Logf("server: draining, in-flight work has %v to finish", expect)
+}
+
+// Draining reports whether BeginDrain has run.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Drain blocks until every admitted job reaches a terminal state or ctx
+// expires (returning the context error).  Call BeginDrain first so new work
+// cannot arrive faster than the backlog drains.
+func (s *Server) Drain(ctx context.Context) error {
+	t := time.NewTicker(20 * time.Millisecond)
+	defer t.Stop()
+	for {
+		s.mu.Lock()
+		live := 0
+		for _, j := range s.jobs {
+			if !j.state.Terminal() {
+				live++
+			}
+		}
+		s.mu.Unlock()
+		if live == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// effectiveTimeout resolves a request's timeout_ms against the server cap:
+// the request may only lower Config.JobTimeout, never raise or disable it.
+// Zero means no deadline (only possible with no server cap).
+func (s *Server) effectiveTimeout(ms int64) time.Duration {
+	d := time.Duration(ms) * time.Millisecond
+	if limit := s.cfg.JobTimeout; limit > 0 && (d <= 0 || d > limit) {
+		return limit
+	}
+	return d
 }
 
 // runEntry executes one shared sweep on a worker shard.
@@ -367,7 +458,15 @@ func (s *Server) runEntry(e *entry) {
 		opts.CellLookup, opts.CellPut = st.CellHooksRanked(int(class), s.cfg.Logf)
 	}
 
-	res, err := s.cfg.Execute(e.ctx, opts, s.progressCallback(e))
+	// The deadline is layered on e.ctx, so finishLocked can still tell a
+	// timeout (execCtx expired, e.ctx fine) from a cancellation (e.ctx
+	// itself is dead).
+	execCtx, cancelTimeout := e.ctx, context.CancelFunc(func() {})
+	if e.timeout > 0 {
+		execCtx, cancelTimeout = context.WithTimeout(e.ctx, e.timeout)
+	}
+	res, err := s.executeGuarded(execCtx, opts, e)
+	cancelTimeout()
 
 	// Persist the completed sweep before (and outside) the mutexed state
 	// transition: the blob can be large, so the write must not stall
@@ -384,6 +483,39 @@ func (s *Server) runEntry(e *entry) {
 
 	s.mu.Lock()
 	s.finishLocked(e, res, err)
+	s.mu.Unlock()
+}
+
+// executeGuarded runs the configured Execute behind a recover guard.  The
+// sweep package already converts per-cell panics into errors; this is the
+// last line of defense for panics in Execute implementations, progress
+// plumbing or store hooks outside the cells — a recovered panic fails the
+// job instead of killing the worker.
+func (s *Server) executeGuarded(ctx context.Context, opts sweep.Options, e *entry) (res *refrint.SweepResults, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.recordPanic("exec", r, debug.Stack())
+			res, err = nil, fmt.Errorf("sweep execution panicked: %v: %w", r, errPanicked)
+		}
+	}()
+	return s.cfg.Execute(ctx, opts, s.progressCallback(e))
+}
+
+// errPanicked marks errors synthesized from recovered panics outside the
+// sweep's own per-cell guard, so finishLocked can attribute the failure
+// reason without string matching.
+var errPanicked = errors.New("panicked")
+
+// recordPanic logs one recovered panic with its stack and bumps the
+// refrint_panics_total{site} counter.  Safe from any goroutine that does NOT
+// already hold s.mu.
+func (s *Server) recordPanic(site string, recovered any, stack []byte) {
+	s.cfg.Logger.Error("panic recovered",
+		"site", site,
+		"panic", fmt.Sprint(recovered),
+		"stack", string(stack))
+	s.mu.Lock()
+	s.panicsTotal[site]++
 	s.mu.Unlock()
 }
 
@@ -436,9 +568,22 @@ func (s *Server) progressLoop() {
 		case <-s.baseCtx.Done():
 			return
 		case <-t.C:
-			s.publishTick()
+			s.safeTick()
 		}
 	}
+}
+
+// safeTick is publishTick behind a recover guard: the tick folds counters
+// and marshals snapshots for SSE, and a panic there must kill neither the
+// publish loop nor Close.  (publishTick unlocks s.mu by defer, so the mutex
+// is released before the recovery here runs.)
+func (s *Server) safeTick() {
+	defer func() {
+		if r := recover(); r != nil {
+			s.recordPanic("tick", r, debug.Stack())
+		}
+	}()
+	s.publishTick()
 }
 
 // publishTick is one iteration of progressLoop.  All snapshot and marshal
@@ -541,7 +686,22 @@ func (s *Server) finishLocked(e *entry, res *refrint.SweepResults, err error) {
 			s.sweepCacheEvicted[cl]++
 		}
 		s.cfg.Logf("sweep %s: done", e.key)
-	case errors.Is(err, context.Canceled) || e.ctx.Err() != nil:
+	case e.ctx.Err() != nil:
+		// The execution's own context died (client cancel or shutdown).
+		// Checked before the deadline: a sweep cancelled while also racing
+		// its per-job timeout is a cancellation, not a timeout.
+		e.state = StateCancelled
+		e.err = context.Canceled
+		s.cache.drop(e)
+		s.cfg.Logf("sweep %s: cancelled", e.key)
+	case errors.Is(err, context.DeadlineExceeded):
+		e.state = StateFailed
+		e.err = fmt.Errorf("deadline exceeded after %v", e.timeout)
+		e.reason = reasonDeadline
+		s.jobTimeouts[e.class]++
+		s.cache.drop(e)
+		s.cfg.Logf("sweep %s: failed: deadline exceeded after %v", e.key, e.timeout)
+	case errors.Is(err, context.Canceled):
 		e.state = StateCancelled
 		e.err = context.Canceled
 		s.cache.drop(e)
@@ -549,6 +709,21 @@ func (s *Server) finishLocked(e *entry, res *refrint.SweepResults, err error) {
 	default:
 		e.state = StateFailed
 		e.err = err
+		var pe *sweep.PanicError
+		if errors.As(err, &pe) {
+			// A panic contained inside a sweep cell: account and log it
+			// here — sweep cannot reach the server's counters or logger.
+			e.reason = reasonPanic
+			s.panicsTotal["sim"]++
+			s.cfg.Logger.Error("panic recovered",
+				"site", "sim",
+				"app", pe.App,
+				"cell", pe.Cell,
+				"panic", fmt.Sprint(pe.Value),
+				"stack", string(pe.Stack))
+		} else if errors.Is(err, errPanicked) {
+			e.reason = reasonPanic // already counted and logged at recovery
+		}
 		s.cache.drop(e)
 		s.cfg.Logf("sweep %s: failed: %v", e.key, err)
 	}
@@ -558,9 +733,13 @@ func (s *Server) finishLocked(e *entry, res *refrint.SweepResults, err error) {
 		}
 		j.state = e.state
 		j.err = e.err
+		j.reason = e.reason
 		j.endedAt = now
 		if j.startedAt.IsZero() && e.state == StateDone {
 			j.startedAt = now
+		}
+		if e.reason == reasonDeadline {
+			j.trace.mark(phaseDeadline, now)
 		}
 		j.trace.mark(string(e.state), now)
 		j.freezeProgress()
@@ -569,6 +748,13 @@ func (s *Server) finishLocked(e *entry, res *refrint.SweepResults, err error) {
 	}
 	e.cancel() // release the context's resources in every path
 }
+
+// Failure reasons exposed in job views, distinguishing the robustness
+// machinery's verdicts from ordinary execution errors.
+const (
+	reasonPanic    = "panic"
+	reasonDeadline = "deadline exceeded"
+)
 
 // logTerminalLocked emits the structured terminal log line for one job,
 // carrying the phase-duration breakdown of its whole lifecycle.  Caller
@@ -668,13 +854,17 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.reviveStoredSweep(key)
 
 	s.mu.Lock()
-	if s.closed {
+	if s.closed || s.draining {
+		retryAfter := s.drainRetryAfter
 		s.mu.Unlock()
 		s.quota.refund(map[string]int{req.Client: 1})
+		if retryAfter > 0 {
+			w.Header().Set("Retry-After", fmt.Sprint(retryAfter))
+		}
 		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
 		return
 	}
-	job, ok := s.submitJobLocked(req, opts, key, class, class, tr)
+	job, ok := s.submitJobLocked(req, opts, key, class, class, s.effectiveTimeout(req.TimeoutMS), tr)
 	if !ok {
 		s.mu.Unlock()
 		// A capacity rejection gives the token back: the client honoring the
@@ -701,11 +891,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 // job's own priority; entryClass is the class a fresh execution enqueues at —
 // the same, except in a batch whose later duplicate of this key is more
 // urgent (creating at the final class directly keeps capacity accounting
-// exact).  It reports false — creating nothing — when the class queue is
-// full.  Caller holds the server mutex; both POST /v1/sweeps and POST
-// /v1/batches funnel through here, which keeps every scheduler mutation
-// serialized under it.
-func (s *Server) submitJobLocked(req refrint.SweepRequest, opts sweep.Options, key string, class, entryClass sched.Class, tr trace) (*Job, bool) {
+// exact).  timeout bounds a FRESH execution's wall time (0 = none); a job
+// attaching to an in-flight execution inherits that execution's deadline —
+// singleflight shares one run, so the first submitter's bound governs it.
+// It reports false — creating nothing — when the class queue is full.
+// Caller holds the server mutex; both POST /v1/sweeps and POST /v1/batches
+// funnel through here, which keeps every scheduler mutation serialized
+// under it.
+func (s *Server) submitJobLocked(req refrint.SweepRequest, opts sweep.Options, key string, class, entryClass sched.Class, timeout time.Duration, tr trace) (*Job, bool) {
 	s.nextID++
 	job := &Job{
 		id:        fmt.Sprintf("job-%06d", s.nextID),
@@ -766,14 +959,15 @@ func (s *Server) submitJobLocked(req refrint.SweepRequest, opts sweep.Options, k
 		s.sweepCacheMisses++
 		ctx, cancel := context.WithCancel(s.baseCtx)
 		e = &entry{
-			key:    key,
-			opts:   opts,
-			ctx:    ctx,
-			cancel: cancel,
-			class:  entryClass,
-			state:  StateQueued,
-			jobs:   []*Job{job},
-			refs:   1,
+			key:     key,
+			opts:    opts,
+			ctx:     ctx,
+			cancel:  cancel,
+			class:   entryClass,
+			state:   StateQueued,
+			timeout: timeout,
+			jobs:    []*Job{job},
+			refs:    1,
 		}
 		e.total.Store(int64(opts.Size()))
 		job.entry = e
@@ -1116,14 +1310,22 @@ func (s *Server) handleSims(w http.ResponseWriter, r *http.Request) {
 
 // healthz is the payload of GET /healthz.
 type healthz struct {
-	Status   string `json:"status"`
+	// Status is "ok", "degraded" (the store lost its disk and is running
+	// memory-only; Cause says why) or "closing" (draining or shut down).
+	Status string `json:"status"`
+	// Cause is the first write error that degraded the store ("degraded"
+	// status only).
+	Cause    string `json:"cause,omitempty"`
 	Jobs     int    `json:"jobs"`
 	Queued   int    `json:"queued"`
 	Inflight int    `json:"inflight"`
 	Cached   int    `json:"cached"`
 }
 
-// handleHealthz implements GET /healthz.
+// handleHealthz implements GET /healthz.  Status codes follow the statuses:
+// "ok" and "degraded" answer 200 — a degraded server still serves sweeps,
+// results just do not survive a restart — while "closing" answers 503 so
+// load balancers stop routing to an instance on its way out.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	cached, inflight := s.cache.stats()
@@ -1134,6 +1336,21 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Inflight: inflight,
 		Cached:   cached,
 	}
+	closing := s.draining || s.closed
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, h)
+	code := http.StatusOK
+	// The store has its own mutex; checked outside s.mu like every other
+	// store call on a handler path.
+	if st := s.cfg.Store; st != nil {
+		if deg, cause := st.Degraded(); deg {
+			h.Status = "degraded"
+			h.Cause = cause
+		}
+	}
+	if closing {
+		h.Status = "closing"
+		h.Cause = ""
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, h)
 }

@@ -32,15 +32,16 @@ import (
 // Lifecycle phase names, in pipeline order.  Terminal marks reuse the job
 // State strings ("done", "failed", "cancelled").
 const (
-	phaseReceived   = "received"   // request hit the handler
-	phaseValidated  = "validated"  // body decoded, labels/options resolved
-	phaseAdmitted   = "admitted"   // past quota and capacity; job exists
-	phaseQueued     = "queued"     // waiting in a scheduler queue
-	phaseDequeued   = "dequeued"   // popped by a worker, not yet simulating
-	phaseExecuting  = "executing"  // simulations running
-	phasePersisting = "persisting" // completed sweep being written to the store
-	phaseCacheHit   = "cache-hit"  // answered from the in-memory result cache
-	phaseRevived    = "revived"    // answered from the persistent store
+	phaseReceived   = "received"          // request hit the handler
+	phaseValidated  = "validated"         // body decoded, labels/options resolved
+	phaseAdmitted   = "admitted"          // past quota and capacity; job exists
+	phaseQueued     = "queued"            // waiting in a scheduler queue
+	phaseDequeued   = "dequeued"          // popped by a worker, not yet simulating
+	phaseExecuting  = "executing"         // simulations running
+	phasePersisting = "persisting"        // completed sweep being written to the store
+	phaseCacheHit   = "cache-hit"         // answered from the in-memory result cache
+	phaseRevived    = "revived"           // answered from the persistent store
+	phaseDeadline   = "deadline-exceeded" // execution hit its timeout (precedes the failed mark)
 )
 
 // spanMark opens one phase of a job's timeline at one instant.

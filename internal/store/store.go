@@ -32,13 +32,18 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"math/rand/v2"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
+	"syscall"
+	"time"
 
+	"refrint/internal/faults"
 	"refrint/internal/sim"
 	"refrint/internal/sweep"
 )
@@ -81,6 +86,26 @@ type Options struct {
 	MemBytes int64
 	// Logf, when set, receives one line per quarantine and eviction.
 	Logf func(format string, args ...any)
+
+	// WriteRetries bounds how many times a transient blob-write failure
+	// (ENOSPC, EIO, ...) is retried before the put is declared failed
+	// (default 3 retries after the initial attempt).  Permanent failures
+	// (bad permissions, invalid paths) are never retried.
+	WriteRetries int
+	// RetryBase is the base of the capped, jittered exponential backoff
+	// between write retries (default 10ms; capped at 500ms per wait).
+	RetryBase time.Duration
+	// DegradeAfter is the number of consecutive failed puts after which the
+	// store stops touching the disk and enters degraded (memory-only) mode
+	// instead of spamming errors (default 3).  A background probe re-enables
+	// disk writes once the disk recovers; see Degraded.
+	DegradeAfter int
+	// ProbeInterval is how often a degraded store probes the disk for
+	// recovery (default 2s).
+	ProbeInterval time.Duration
+	// Sleep is the retry-backoff sleeper (default time.Sleep; injectable so
+	// tests exercise the retry loop without real waits).
+	Sleep func(time.Duration)
 }
 
 func (o Options) withDefaults() Options {
@@ -95,6 +120,21 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Logf == nil {
 		o.Logf = func(string, ...any) {}
+	}
+	if o.WriteRetries <= 0 {
+		o.WriteRetries = 3
+	}
+	if o.RetryBase <= 0 {
+		o.RetryBase = 10 * time.Millisecond
+	}
+	if o.DegradeAfter <= 0 {
+		o.DegradeAfter = 3
+	}
+	if o.ProbeInterval <= 0 {
+		o.ProbeInterval = 2 * time.Second
+	}
+	if o.Sleep == nil {
+		o.Sleep = time.Sleep
 	}
 	return o
 }
@@ -116,6 +156,17 @@ type Stats struct {
 	// fold into the last bucket).
 	Evictions       int64
 	EvictionsByRank [NumRanks]int64
+	// Degraded reports memory-only mode: enough consecutive puts failed that
+	// the store stopped touching the disk (DegradedCause holds the last
+	// write error).  Reads still serve everything cached in memory or
+	// already intact on disk; a background probe flips the store back once
+	// the disk recovers.
+	Degraded      bool
+	DegradedCause string
+	// WriteRetries counts transient blob-write failures that were retried;
+	// DegradedPuts counts puts served memory-only while degraded.
+	WriteRetries int64
+	DegradedPuts int64
 }
 
 // envelope is the on-disk form of one blob.
@@ -152,6 +203,15 @@ type Store struct {
 	mem      map[string][]byte // composite key -> payload bytes (hot front)
 	memOrder []string          // composite keys, oldest first
 	memBytes int64             // total payload bytes held by the front
+
+	// Degradation state: after DegradeAfter consecutive put failures the
+	// store goes memory-only and probeLoop (probeWG-tracked, stopped via
+	// probeStop) watches for disk recovery.
+	degraded      bool
+	degradedCause string
+	consecFails   int
+	probeStop     chan struct{}
+	probeWG       sync.WaitGroup
 }
 
 // Open opens (creating if necessary) the store rooted at dir.
@@ -181,15 +241,32 @@ func Open(dir string, opt Options) (*Store, error) {
 // Dir returns the store's root directory.
 func (s *Store) Dir() string { return s.dir }
 
-// Close persists the index (access order included) and releases the
-// in-memory front.  The store must not be used after Close.
+// Close persists the index (access order included), stops the recovery
+// probe if one is running, and releases the in-memory front.  The store must
+// not be used after Close.
 func (s *Store) Close() error {
+	s.mu.Lock()
+	if s.probeStop != nil {
+		close(s.probeStop)
+		s.probeStop = nil
+	}
+	s.mu.Unlock()
+	s.probeWG.Wait()
+
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.mem = make(map[string][]byte)
 	s.memOrder = nil
 	s.memBytes = 0
 	return s.writeIndexLocked()
+}
+
+// Degraded reports whether the store is in memory-only degraded mode, and —
+// when it is — the write error that sent it there.  /healthz surfaces this.
+func (s *Store) Degraded() (bool, string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.degraded, s.degradedCause
 }
 
 // Stats returns a snapshot of the store's counters.
@@ -240,17 +317,27 @@ func (s *Store) PutRanked(kind Kind, key string, rank int, payload any) error {
 	if err != nil {
 		return fmt.Errorf("store: encoding envelope %s/%s: %w", kind, key, err)
 	}
-	path := s.blobPath(kind, key)
-	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
-		return fmt.Errorf("store: %w", err)
+	ck := compositeKey(kind, key)
+
+	// Degraded mode: serve the put from memory without touching the disk.
+	// The result stays readable (Get's front serves entries with no index
+	// record) until the probe re-enables writes; it is simply not durable.
+	s.mu.Lock()
+	if s.degraded {
+		s.memPutLocked(ck, raw)
+		s.stats.DegradedPuts++
+		s.mu.Unlock()
+		return nil
 	}
-	if err := atomicWrite(path, blob); err != nil {
-		return fmt.Errorf("store: writing %s/%s: %w", kind, key, err)
+	s.mu.Unlock()
+
+	if err := s.writeBlob(kind, key, blob); err != nil {
+		return s.putFailed(kind, key, ck, raw, err)
 	}
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	ck := compositeKey(kind, key)
+	s.consecFails = 0
 	if old, ok := s.entries[ck]; ok {
 		s.bytes -= old.bytes
 	}
@@ -261,6 +348,154 @@ func (s *Store) PutRanked(kind Kind, key string, rank int, payload any) error {
 	s.evictLocked(ck)
 	return s.maybeWriteIndexLocked()
 }
+
+// writeBlob lands one blob on disk, retrying transient failures (disk full,
+// I/O errors) with capped exponential backoff + jitter.  Permanent failures
+// return immediately.
+func (s *Store) writeBlob(kind Kind, key string, blob []byte) error {
+	var err error
+	for attempt := 0; ; attempt++ {
+		err = s.writeAttempt(s.blobPath(kind, key), blob)
+		if err == nil || !transientWriteError(err) || attempt >= s.opt.WriteRetries {
+			return err
+		}
+		s.mu.Lock()
+		s.stats.WriteRetries++
+		s.mu.Unlock()
+		s.opt.Sleep(retryBackoff(s.opt.RetryBase, attempt))
+	}
+}
+
+// writeAttempt is one try at landing a blob, behind the store.put fault
+// injection point.
+func (s *Store) writeAttempt(path string, blob []byte) error {
+	if err := faults.Check(faults.StorePut); err != nil {
+		return err
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	return atomicWrite(path, blob)
+}
+
+// putFailed handles a put whose write retries ran out: the failure counts
+// toward the degradation threshold, and crossing it flips the store into
+// memory-only mode (starting the recovery probe) — in which case this put is
+// absorbed into the memory front and reported as success, exactly as if it
+// had arrived a moment later.  Below the threshold the error goes back to
+// the caller.
+func (s *Store) putFailed(kind Kind, key, ck string, raw []byte, err error) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.consecFails++
+	if !s.degraded && s.consecFails >= s.opt.DegradeAfter {
+		s.enterDegradedLocked(err)
+	}
+	if s.degraded {
+		s.memPutLocked(ck, raw)
+		s.stats.DegradedPuts++
+		return nil
+	}
+	return fmt.Errorf("store: writing %s/%s: %w", kind, key, err)
+}
+
+// transientWriteError classifies write failures: disk-pressure and I/O
+// errnos are worth retrying, anything else (permissions, bad paths) is
+// permanent.  Injected faults count as transient so the chaos suite drives
+// the retry and degradation paths.
+func transientWriteError(err error) bool {
+	if errors.Is(err, faults.ErrInjected) {
+		return true
+	}
+	var errno syscall.Errno
+	if errors.As(err, &errno) {
+		switch errno {
+		case syscall.ENOSPC, syscall.EIO, syscall.EAGAIN, syscall.EINTR, syscall.EBUSY:
+			return true
+		}
+	}
+	return false
+}
+
+// retryBackoff is the wait before retry attempt+1: base<<attempt with full
+// jitter, capped at 500ms so a handful of retries never stalls a put for
+// seconds.
+func retryBackoff(base time.Duration, attempt int) time.Duration {
+	const maxWait = 500 * time.Millisecond
+	d := base << uint(min(attempt, 16))
+	if d <= 0 || d > maxWait {
+		d = maxWait
+	}
+	return d/2 + rand.N(d/2+1)
+}
+
+// enterDegradedLocked flips the store into memory-only mode and starts the
+// background recovery probe.
+func (s *Store) enterDegradedLocked(cause error) {
+	s.degraded = true
+	s.degradedCause = cause.Error()
+	s.stats.Degraded = true
+	s.stats.DegradedCause = s.degradedCause
+	s.opt.Logf("store: degraded to memory-only after %d consecutive write failures: %v", s.consecFails, cause)
+	stop := make(chan struct{})
+	s.probeStop = stop
+	s.probeWG.Add(1)
+	go s.probeLoop(stop)
+}
+
+// exitDegradedLocked re-enables disk writes and stops the probe.
+func (s *Store) exitDegradedLocked() {
+	if !s.degraded {
+		return
+	}
+	s.degraded = false
+	s.degradedCause = ""
+	s.stats.Degraded = false
+	s.stats.DegradedCause = ""
+	s.consecFails = 0
+	if s.probeStop != nil {
+		close(s.probeStop)
+		s.probeStop = nil
+	}
+	s.opt.Logf("store: disk recovered, leaving degraded mode")
+}
+
+// probeLoop periodically test-writes the disk while the store is degraded
+// and flips it back to normal on the first success.  It goes through the
+// same injected write path as real puts, so recovery is only observed once
+// the underlying failure (or fault injection) actually stops.
+func (s *Store) probeLoop(stop chan struct{}) {
+	defer s.probeWG.Done()
+	t := time.NewTicker(s.opt.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			if err := s.probeOnce(); err == nil {
+				s.mu.Lock()
+				s.exitDegradedLocked()
+				s.mu.Unlock()
+				return
+			}
+		}
+	}
+}
+
+// probeOnce attempts one small probe write (temp file + rename, like a real
+// blob) under the version directory, removing it on success.
+func (s *Store) probeOnce() error {
+	path := filepath.Join(s.dir, versionDir, probeFile)
+	if err := s.writeAttempt(path, []byte("probe")); err != nil {
+		return err
+	}
+	return os.Remove(path)
+}
+
+// probeFile is the scratch file the degraded-mode recovery probe writes.
+// Dot-prefixed, so loadIndex's blob scan never adopts it.
+const probeFile = ".probe"
 
 // Get loads the blob under (kind, key) into out (a pointer, as for
 // json.Unmarshal) and reports whether it was found intact.  Corrupted blobs
@@ -289,6 +524,12 @@ func (s *Store) Get(kind Kind, key string, out any) bool {
 		var err error
 		raw, err = s.readBlob(kind, key)
 		if err != nil {
+			// An injected read fault is a synthetic miss: the blob on disk is
+			// fine, so quarantining it would punish real data for a test.
+			if errors.Is(err, faults.ErrInjected) {
+				s.count(kind, false)
+				return false
+			}
 			// Corrupted — unless the blob was concurrently evicted, which
 			// quarantine() detects and turns into a plain miss.
 			s.quarantine(kind, key, err)
@@ -398,6 +639,9 @@ func (s *Store) miss(kind Kind) {
 // takes no lock: blobs are written atomically, so a reader sees either the
 // previous complete blob or the new one.
 func (s *Store) readBlob(kind Kind, key string) ([]byte, error) {
+	if err := faults.Check(faults.StoreGet); err != nil {
+		return nil, err
+	}
 	data, err := os.ReadFile(s.blobPath(kind, key))
 	if err != nil {
 		return nil, fmt.Errorf("reading blob: %w", err)

@@ -1,0 +1,78 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"refrint/internal/faults"
+	"refrint/internal/sim"
+)
+
+// TestPanicContained verifies a panic inside a cell is recovered into a
+// *PanicError that fails the sweep cleanly instead of crashing the process.
+// The panic is injected through the faults harness, which fires inside the
+// recover guard exactly where a simulation bug would.
+func TestPanicContained(t *testing.T) {
+	inj, err := faults.Parse("sim.run:panic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults.Enable(inj)
+	t.Cleanup(faults.Disable)
+
+	res, err := ExecuteContext(context.Background(), smallOptions(1), nil)
+	if res != nil {
+		t.Fatal("panicking sweep returned results")
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("ExecuteContext error = %v, want *PanicError", err)
+	}
+	if pe.App == "" || pe.Cell == "" {
+		t.Errorf("PanicError missing cell identity: %+v", pe)
+	}
+	if len(pe.Stack) == 0 {
+		t.Error("PanicError missing stack")
+	}
+	if !strings.Contains(pe.Error(), "panic in cell") {
+		t.Errorf("PanicError.Error() = %q", pe.Error())
+	}
+}
+
+// TestPanicInCellHookContained pins the containment boundary around the
+// cache hooks too: a panicking CellLookup is a per-cell failure, not a
+// process crash.
+func TestPanicInCellHookContained(t *testing.T) {
+	opts := smallOptions(1)
+	opts.CellLookup = func(CellKey) (sim.Result, bool) { panic("hook bug") }
+
+	res, err := ExecuteContext(context.Background(), opts, nil)
+	if res != nil {
+		t.Fatal("panicking sweep returned results")
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("ExecuteContext error = %v, want *PanicError", err)
+	}
+	if got, want := pe.Value, any("hook bug"); got != want {
+		t.Errorf("PanicError.Value = %v, want %v", got, want)
+	}
+}
+
+// TestInjectedSimError verifies error-mode injection at sim.run fails the
+// sweep with ErrInjected (wrapped), not a panic.
+func TestInjectedSimError(t *testing.T) {
+	inj, err := faults.Parse("sim.run:error")
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults.Enable(inj)
+	t.Cleanup(faults.Disable)
+
+	res, err := ExecuteContext(context.Background(), smallOptions(1), nil)
+	if res != nil || !errors.Is(err, faults.ErrInjected) {
+		t.Fatalf("ExecuteContext = (%v, %v), want ErrInjected", res, err)
+	}
+}

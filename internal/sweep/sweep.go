@@ -9,11 +9,13 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"sync"
 	"sync/atomic"
 
 	"refrint/internal/config"
+	"refrint/internal/faults"
 	"refrint/internal/sim"
 	"refrint/internal/workload"
 )
@@ -280,7 +282,7 @@ func ExecuteContext(ctx context.Context, opts Options, progress func(Progress)) 
 			if ctx.Err() != nil {
 				return
 			}
-			run, err := resolveCell(opts, keyer, j.app, j.point)
+			run, err := safeResolveCell(ctx, opts, keyer, j.app, j.point)
 			mu.Lock()
 			if err != nil {
 				if firstErr == nil {
@@ -308,6 +310,44 @@ func ExecuteContext(ctx context.Context, opts Options, progress func(Progress)) 
 		return nil, firstErr
 	}
 	return res, nil
+}
+
+// PanicError is what a panicking simulation cell is converted into: the
+// sweep's worker goroutines recover per cell, so one buggy policy/workload
+// combination fails its sweep instead of killing the process.  Callers that
+// need to distinguish contained panics from ordinary failures (the server's
+// job lifecycle counts and logs them) unwrap it with errors.As; Stack holds
+// the panicking goroutine's stack for that log.
+type PanicError struct {
+	App   string // application of the panicking cell
+	Cell  string // Point.Key() of the panicking cell
+	Value any    // the recovered panic value
+	Stack []byte // debug.Stack() captured inside the recover
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("sweep: panic in cell %s/%s: %v", e.App, e.Cell, e.Value)
+}
+
+// safeResolveCell is resolveCell behind the per-cell containment boundary: a
+// panic anywhere below (simulation bug, cache hook, injected fault) is
+// recovered into a *PanicError, and the fault-injection points for
+// simulation latency and simulation failure are consulted first.  The
+// injection checks are a single atomic load each when no fault spec is
+// installed.
+func safeResolveCell(ctx context.Context, opts Options, keyer cellKeyer, appName string, pt Point) (run Run, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			run, err = Run{}, &PanicError{App: appName, Cell: pt.Key(), Value: r, Stack: debug.Stack()}
+		}
+	}()
+	if err := faults.CheckCtx(ctx, faults.ExecLatency); err != nil {
+		return Run{}, err
+	}
+	if err := faults.CheckCtx(ctx, faults.SimRun); err != nil {
+		return Run{}, fmt.Errorf("sweep: %s %s: %w", appName, pt.Key(), err)
+	}
+	return resolveCell(opts, keyer, appName, pt)
 }
 
 // resolveCell produces the run for one cell, consulting the cell-level

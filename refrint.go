@@ -250,6 +250,12 @@ type SweepRequest struct {
 	// priority class fairly between client labels, so one flooding tenant
 	// cannot monopolize a class.  Excluded from Key().
 	Client string `json:"client,omitempty"`
+	// TimeoutMS, where positive, bounds the sweep's wall-clock execution in
+	// milliseconds: a sweep that outlives it fails with a deadline-exceeded
+	// reason.  refrint-serve caps it at (never above) the server's
+	// -job-timeout.  It affects only whether the sweep finishes, never its
+	// results, and is excluded from Key().
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
 
 // Options resolves the request into executable sweep options, validating
@@ -301,6 +307,9 @@ func (r SweepRequest) Options() (SweepOptions, error) {
 	}
 	if r.Workers > 0 {
 		opts.Workers = r.Workers
+	}
+	if r.TimeoutMS < 0 {
+		return SweepOptions{}, fmt.Errorf("refrint: timeout_ms %d must be non-negative", r.TimeoutMS)
 	}
 	return opts, nil
 }
