@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-baseline bench-compare fmt vet profile
+.PHONY: build test race bench bench-baseline bench-compare fmt vet lint profile
 
 build:
 	$(GO) build ./...
@@ -18,6 +18,13 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# Project-native static analysis (internal/analysis): the *Locked contract,
+# //refrint:alloc-free pins, /metrics naming/registration, and atomic-field
+# discipline.  Blocking in CI; run before sending a change.
+lint:
+	$(GO) build -o bin/refrint-lint ./cmd/refrint-lint
+	$(GO) vet -vettool=$(CURDIR)/bin/refrint-lint ./...
 
 # Run the hot-path benchmark suite (5 iterations, with allocation counts).
 bench:

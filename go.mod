@@ -1,3 +1,10 @@
 module refrint
 
 go 1.23
+
+// The analysis framework is vendored from the Go toolchain's own copy
+// (see third_party/golang.org/x/tools/README.md): the build stays
+// offline and the lint suite runs the exact framework go vet ships.
+require golang.org/x/tools v0.29.0
+
+replace golang.org/x/tools => ./third_party/golang.org/x/tools

@@ -1,0 +1,12 @@
+package allocfree_test
+
+import (
+	"testing"
+
+	"refrint/internal/analysis/allocfree"
+	"refrint/internal/analysis/linttest"
+)
+
+func TestAllocfree(t *testing.T) {
+	linttest.Run(t, allocfree.Analyzer, "a")
+}

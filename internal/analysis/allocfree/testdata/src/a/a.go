@@ -1,0 +1,72 @@
+// Fixture for the allocfree analyzer.  The passing shapes mirror the
+// repo's real annotated hot paths (ring reuse, atomic counters, CAS
+// loops); the failing function collects every rejected construct.
+package a
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+type ring struct {
+	buf  []int
+	hits atomic.Int64
+}
+
+//refrint:alloc-free
+func steady(r *ring, v int) int {
+	r.buf = append(r.buf[:0], v) // ok: reslice idiom reuses capacity
+	sum := 0
+	for _, x := range r.buf {
+		sum += x
+	}
+	r.hits.Add(1)
+	var scratch [8]int // ok: array, stack value
+	scratch[0] = sum
+	return scratch[0]
+}
+
+// casMax mirrors the server's progress callback: pure atomics.
+//
+//refrint:alloc-free
+func casMax(c *atomic.Int64, next int64) {
+	for {
+		cur := c.Load()
+		if next <= cur || c.CompareAndSwap(cur, next) {
+			return
+		}
+	}
+}
+
+//refrint:alloc-free
+func allocating(r *ring, v int, label string) {
+	r.buf = append(r.buf, v)     // want `growing append may allocate`
+	m := map[int]int{v: v}       // want `map literal allocates`
+	s := []int{v}                // want `slice literal allocates`
+	p := &ring{}                 // want `address of composite literal escapes`
+	q := make([]int, 4)          // want `make allocates`
+	n := new(int)                // want `new allocates`
+	fmt.Println(v)               // want `call to fmt.Println formats and boxes`
+	_ = label + "!"              // want `string concatenation allocates`
+	_ = []byte(label)            // want `conversion between string and byte/rune slice`
+	_ = interface{}(v)           // want `conversion to interface type`
+	go casMax(&r.hits, 1)        // want `go statement allocates`
+	f := func() int { return v } // want `function literal captures enclosing variables`
+	_, _, _, _, _, _ = m, s, p, q, n, f
+}
+
+//refrint:alloc-free
+func staticClosure() func() int {
+	return func() int { return 42 } // ok: no captures, static function value
+}
+
+//refrint:alloc-free
+func waived(r *ring, v int) {
+	//refrint:allow allocfree -- fixture: one-time warm-up growth, amortized to zero
+	r.buf = append(r.buf, v)
+}
+
+// Unannotated functions may allocate freely.
+func cold() []int {
+	return append([]int{}, 1, 2, 3)
+}

@@ -1,0 +1,12 @@
+package atomicfield_test
+
+import (
+	"testing"
+
+	"refrint/internal/analysis/atomicfield"
+	"refrint/internal/analysis/linttest"
+)
+
+func TestAtomicfield(t *testing.T) {
+	linttest.Run(t, atomicfield.Analyzer, "a")
+}

@@ -1,0 +1,48 @@
+// Fixture for the atomicfield analyzer: a raw int64 driven through
+// sync/atomic free functions (the CAS-max shape of the server's progress
+// counters before they became typed), a typed atomic.Int64, and the
+// mixed-access bugs both forbid.
+package a
+
+import "sync/atomic"
+
+type counter struct {
+	raw   int64
+	typed atomic.Int64
+}
+
+func (c *counter) add(d int64) {
+	atomic.AddInt64(&c.raw, d) // registers c.raw as an atomic field
+}
+
+func (c *counter) casMax(next int64) {
+	for {
+		cur := atomic.LoadInt64(&c.raw) // ok
+		if next <= cur || atomic.CompareAndSwapInt64(&c.raw, cur, next) {
+			return
+		}
+	}
+}
+
+func (c *counter) torn() int64 {
+	c.raw++      // want `field raw is accessed atomically`
+	c.raw = 7    // want `field raw is accessed atomically`
+	return c.raw // want `field raw is accessed atomically`
+}
+
+func (c *counter) typedOK() int64 {
+	c.typed.Add(1) // ok: method call on the field
+	p := &c.typed  // ok: pointer keeps atomicity
+	return p.Load()
+}
+
+func (c *counter) typedCopy() atomic.Int64 {
+	cp := c.typed // want `atomic value typed \(sync/atomic\.Int64\) must not be copied`
+	_ = cp
+	return c.typed // want `atomic value typed \(sync/atomic\.Int64\) must not be copied`
+}
+
+// An unrelated plain field stays unrestricted.
+type plain struct{ n int64 }
+
+func (p *plain) bump() { p.n++ }

@@ -1,0 +1,12 @@
+package lockcheck_test
+
+import (
+	"testing"
+
+	"refrint/internal/analysis/linttest"
+	"refrint/internal/analysis/lockcheck"
+)
+
+func TestLockcheck(t *testing.T) {
+	linttest.Run(t, lockcheck.Analyzer, "a")
+}

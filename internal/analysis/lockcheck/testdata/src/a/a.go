@@ -1,0 +1,121 @@
+// Fixture for the lockcheck analyzer.  The shapes mirror real call sites:
+// server.go's Lock/defer Unlock around *Locked helpers, the OnAge closure
+// that takes the lock itself, and — as the canonical failing case — the
+// pre-PR-7 handleMetrics, which rendered the whole exposition while
+// holding the mutex.
+package a
+
+import (
+	"encoding/json"
+	"sync"
+	"time"
+)
+
+type server struct {
+	mu   sync.Mutex
+	jobs map[string]int
+	ch   chan int
+}
+
+// snapshotLocked is the well-behaved kind of *Locked function: pure
+// in-memory reads, caller holds the mutex.
+func (s *server) snapshotLocked() int { return len(s.jobs) }
+
+func (s *server) bareCall() {
+	_ = s.snapshotLocked() // want `call to snapshotLocked without holding the mutex`
+}
+
+func (s *server) deferredPair() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.snapshotLocked() // ok: between Lock and deferred Unlock
+}
+
+func (s *server) inlinePair() {
+	s.mu.Lock()
+	n := s.snapshotLocked() // ok: Unlock comes later
+	s.mu.Unlock()
+	_ = n
+}
+
+func (s *server) afterUnlock() {
+	s.mu.Lock()
+	s.mu.Unlock()
+	_ = s.snapshotLocked() // want `call to snapshotLocked without holding the mutex`
+}
+
+// fromLocked: a *Locked function may call other *Locked functions freely.
+func (s *server) aggregateLocked() int {
+	return s.snapshotLocked() // ok: caller already holds the mutex
+}
+
+// An early-exit Unlock inside an error branch releases the lock only for
+// that branch; the fall-through path still holds it (the handler shape:
+// Lock, bail out on errors, keep working).
+func (s *server) earlyExitUnlock(bad bool) int {
+	s.mu.Lock()
+	if bad {
+		s.mu.Unlock()
+		return 0
+	}
+	n := s.snapshotLocked() // ok: this path never saw the Unlock
+	s.mu.Unlock()
+	return n
+}
+
+// Symmetrically, a Lock taken inside a branch does not cover code after
+// the branch.
+func (s *server) branchLock(eager bool) {
+	if eager {
+		s.mu.Lock()
+		s.mu.Unlock()
+	}
+	_ = s.snapshotLocked() // want `call to snapshotLocked without holding the mutex`
+}
+
+// A closure does not inherit the enclosing function's hold — it may run
+// later, on another goroutine.
+func (s *server) escapingClosure() func() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return func() int {
+		return s.snapshotLocked() // want `call to snapshotLocked without holding the mutex`
+	}
+}
+
+// A closure that takes the lock itself is fine (the OnAge callback shape).
+func (s *server) lockingClosure() func() int {
+	return func() int {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.snapshotLocked() // ok
+	}
+}
+
+// renderAllLocked is the old handleMetrics bug as a fixture: marshalling
+// the full view while the mutex is held.
+func (s *server) renderAllLocked() ([]byte, error) {
+	return json.Marshal(s.jobs) // want `encoding/json.Marshal inside a \*Locked function`
+}
+
+func (s *server) stallLocked() {
+	time.Sleep(time.Millisecond) // want `time.Sleep inside a \*Locked function`
+	s.ch <- 1                    // want `channel send inside a \*Locked function`
+	<-s.ch                       // want `channel receive inside a \*Locked function`
+	select {                     // want `select inside a \*Locked function`
+	case <-s.ch: // want `channel receive inside a \*Locked function`
+	default:
+	}
+}
+
+// Intentional exceptions carry a reasoned allow directive (the disk
+// store's mutex guards an on-disk structure, so it does I/O under it by
+// design).
+func (s *server) persistLocked() error {
+	//refrint:allow lockcheck -- fixture: store-style intentional I/O under the lock
+	return json.NewEncoder(discard{}).Encode(s.jobs)
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }

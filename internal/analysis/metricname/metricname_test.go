@@ -1,0 +1,12 @@
+package metricname_test
+
+import (
+	"testing"
+
+	"refrint/internal/analysis/linttest"
+	"refrint/internal/analysis/metricname"
+)
+
+func TestMetricname(t *testing.T) {
+	linttest.Run(t, metricname.Analyzer, "a")
+}

@@ -1,0 +1,35 @@
+// Fixture for the metricname analyzer, shaped like the server's real
+// renderMetrics: registrar closures for single-value families, direct
+// Fprintf for labelled series, plus every failure mode.
+package a
+
+import (
+	"fmt"
+	"strings"
+)
+
+func render(b *strings.Builder, queued, done int) {
+	gauge := func(name, help string, value any) {
+		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s gauge\n%s %v\n", name, help, name, name, value)
+	}
+
+	gauge("refrint_queue_depth", "Executions waiting in queues.", queued) // ok: registrar declares HELP+TYPE
+	gauge("refrint_Bad_Name", "Uppercase is rejected.", 1)                // want `metric name "refrint_Bad_Name" does not match`
+
+	fmt.Fprintf(b, "# HELP refrint_jobs Jobs by lifecycle state.\n# TYPE refrint_jobs gauge\n")
+	fmt.Fprintf(b, "refrint_jobs{state=%q} %d\n", "done", done) // ok: declared just above
+
+	fmt.Fprintf(b, "refrint_orphan_total %d\n", done) // want `metric refrint_orphan_total is emitted without a paired # HELP and # TYPE`
+
+	fmt.Fprintf(b, "# HELP refrint_help_only_total Declared help, forgot type.\n") // want `metric refrint_help_only_total has # HELP but no # TYPE`
+	fmt.Fprintf(b, "# TYPE refrint_type_only_total counter\n")                     // want `metric refrint_type_only_total has # TYPE but no # HELP`
+}
+
+// Outside the renderer, names get the charset check only: an assertion on
+// scrape output does not need a local registration...
+func assertion(body string) bool {
+	return strings.Contains(body, "refrint_jobs{state=\"done\"}") // ok: not an emission
+}
+
+// ...but a malformed name is flagged wherever it appears.
+const docName = "refrint_sims-per-second" // want `metric name "refrint_sims-per-second" does not match`

@@ -291,6 +291,8 @@ func fnv32a(s string) uint32 {
 // It reports false when the class's queue is full or the scheduler is
 // closed.  The returned Handle cancels or promotes the item while it is
 // still queued.
+//
+//refrint:alloc-free
 func (s *Scheduler) Submit(key, client string, class Class, payload any) (Handle, bool) {
 	if class < 0 || class >= NumClasses {
 		return Handle{}, false
@@ -634,10 +636,10 @@ func (s *Scheduler) pickClass(w *worker, avail [NumClasses]bool) Class {
 	return -1
 }
 
-// popClass dequeues the next live item of one class: clients are served
+// popClassLocked dequeues the next live item of one class: clients are served
 // round-robin, tombstoned (cancelled) items are skipped and recycled, and a
 // client whose FIFO empties leaves the ring until its next submission.
-func (s *Scheduler) popClass(cq *classQueue) *item {
+func (s *Scheduler) popClassLocked(cq *classQueue) *item {
 	for cq.live > 0 {
 		if cq.next >= len(cq.ring) {
 			cq.next = 0
@@ -701,11 +703,11 @@ func (s *Scheduler) takeLocked(idx int) *item {
 	c := s.pickClass(w, avail)
 	var it *item
 	if w.classes[c].live > 0 {
-		it = s.popClass(&w.classes[c])
+		it = s.popClassLocked(&w.classes[c])
 		w.live--
 	} else {
 		v := s.workers[victim[c]]
-		it = s.popClass(&v.classes[c])
+		it = s.popClassLocked(&v.classes[c])
 		v.live--
 		s.steals++
 	}
@@ -736,6 +738,8 @@ func (s *Scheduler) next(idx int) *item {
 
 // tryNext is the non-blocking form of next, used by tests and benchmarks to
 // drive the queues without worker goroutines.
+//
+//refrint:alloc-free
 func (s *Scheduler) tryNext(idx int) *item {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -743,6 +747,8 @@ func (s *Scheduler) tryNext(idx int) *item {
 }
 
 // done returns a finished item to the pool.
+//
+//refrint:alloc-free
 func (s *Scheduler) done(it *item) {
 	s.mu.Lock()
 	s.busy--

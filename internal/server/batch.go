@@ -49,9 +49,9 @@ func (m *batchMember) freezeLocked() {
 	m.job = nil
 }
 
-// memberView returns the member's current view, freezing it on the first
+// memberViewLocked returns the member's current view, freezing it on the first
 // sight of a terminal state.  Caller holds the server mutex.
-func (m *batchMember) memberView() JobView {
+func (m *batchMember) memberViewLocked() JobView {
 	if m.job != nil {
 		if v := m.job.snapshot(); !v.State.Terminal() {
 			return v
@@ -101,8 +101,8 @@ type BatchView struct {
 	CreatedAt time.Time    `json:"created_at"`
 }
 
-// snapshot renders the batch for the API.  Caller holds the server mutex.
-func (b *Batch) snapshot() BatchView {
+// snapshotLocked renders the batch for the API.  Caller holds the server mutex.
+func (b *Batch) snapshotLocked() BatchView {
 	v := BatchView{
 		ID:        b.id,
 		Priority:  b.class.String(),
@@ -114,7 +114,7 @@ func (b *Batch) snapshot() BatchView {
 	allTerminal := true
 	var anyFailed, anyCancelled, anyStarted bool
 	for i := range b.members {
-		jv := b.members[i].memberView()
+		jv := b.members[i].memberViewLocked()
 		v.Jobs = append(v.Jobs, jv)
 		v.Counts[string(jv.State)]++
 		done += jv.Progress.Done
@@ -374,7 +374,7 @@ func (s *Server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	s.batches[b.id] = b
 	s.batchOrder = append(s.batchOrder, b.id)
-	view := b.snapshot()
+	view := b.snapshotLocked()
 	// Seed the event-bus diff state with the creation snapshot: subscribers
 	// get it as their connect-time "state" event, so the tick only needs to
 	// publish changes from here on.  The creation itself is announced to
@@ -414,7 +414,7 @@ func (s *Server) handleGetBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "no batch %q", id)
 		return
 	}
-	view := b.snapshot()
+	view := b.snapshotLocked()
 	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, view)
 }
@@ -439,7 +439,7 @@ func (s *Server) handleCancelBatch(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
-	view := b.snapshot()
+	view := b.snapshotLocked()
 	s.mu.Unlock()
 	for _, e := range aborts {
 		e.cancel()

@@ -553,7 +553,7 @@ func (s *Server) handleBatchEvents(w http.ResponseWriter, r *http.Request) {
 		if !ok {
 			return nil, "", 0, false
 		}
-		v := b.snapshot()
+		v := b.snapshotLocked()
 		return v, v.State, v.Progress.Done, true
 	})
 }

@@ -42,6 +42,8 @@ type histogram struct {
 }
 
 // Observe records one value (in seconds).  Zero allocations, zero locks.
+//
+//refrint:alloc-free
 func (h *histogram) Observe(v float64) {
 	i := 0
 	for i < len(latencyBounds) && v > latencyBounds[i] {

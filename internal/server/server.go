@@ -527,6 +527,7 @@ func (s *Server) recordPanic(site string, recovered any, stack []byte) {
 // folded on the publish tick or at read time instead.  Out-of-order
 // callbacks from concurrent sweep workers are absorbed by the CAS-max loop.
 func (s *Server) progressCallback(e *entry) func(sweep.Progress) {
+	//refrint:alloc-free
 	return func(p sweep.Progress) {
 		if t := int64(p.Total); t > 0 && t != e.total.Load() {
 			e.total.Store(t)
@@ -646,7 +647,7 @@ func (s *Server) publishBatchLocked(b *Batch) {
 	if !s.bus.hasTopic(batchTopic(b.id)) {
 		return
 	}
-	view := b.snapshot()
+	view := b.snapshotLocked()
 	if view.State != b.lastState {
 		name := eventState
 		if view.State.Terminal() {

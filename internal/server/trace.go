@@ -197,7 +197,7 @@ func (s *Server) handleBatchTrace(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	now := time.Now()
-	v := BatchTraceView{ID: b.id, State: b.snapshot().State}
+	v := BatchTraceView{ID: b.id, State: b.snapshotLocked().State}
 	for i := range b.members {
 		v.Traces = append(v.Traces, b.members[i].memberTrace(now))
 	}

@@ -14,6 +14,8 @@ import (
 
 // access resolves one reference issued by core `tileID` at cycle `now` and
 // returns the cycle at which the data is available to the core.
+//
+//refrint:alloc-free
 func (s *System) access(tileID int, a mem.Access, now int64) int64 {
 	line := s.geom.LineOf(a.Addr)
 	switch a.Type {
@@ -37,6 +39,8 @@ func (t *Tile) l1For(ifetch bool) (*core.Bank, stats.Level) {
 }
 
 // accessRead handles loads and instruction fetches.
+//
+//refrint:alloc-free
 func (s *System) accessRead(tileID int, line mem.LineAddr, now int64, ifetch bool) int64 {
 	tile := s.tiles[tileID]
 	l1, l1Level := tile.l1For(ifetch)
@@ -78,6 +82,8 @@ func (s *System) accessRead(tileID int, line mem.LineAddr, now int64, ifetch boo
 // accessWrite handles stores.  The DL1 is write-through (Table 5.1): the
 // store updates the DL1 copy (if any) but dirtiness lives in the L2, which
 // is write-back.
+//
+//refrint:alloc-free
 func (s *System) accessWrite(tileID int, line mem.LineAddr, now int64) int64 {
 	tile := s.tiles[tileID]
 

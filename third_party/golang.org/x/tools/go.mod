@@ -1,0 +1,3 @@
+module golang.org/x/tools
+
+go 1.23
