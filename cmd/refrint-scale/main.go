@@ -1,0 +1,191 @@
+// Command refrint-scale measures service-level throughput scaling: it runs
+// the same sweep workload at a series of intra-sweep worker-pool sizes
+// (sweep.Options.Workers — the same knob refrint-serve's SweepWorkers caps)
+// and reports simulations per second at each point, the speedup over one
+// worker, and the parallel efficiency.
+//
+// The output is the committed BENCH_<pr>.json trajectory: whole-service
+// throughput kept regression-visible alongside the per-op benchmarks of
+// bench/baseline.txt.  Each point runs the sweep -repeat times and keeps the
+// best (least-interfered) time, mirroring how bench-compare reads benchstat
+// minima.
+//
+// Examples:
+//
+//	refrint-scale                          # powers of two up to NumCPU
+//	refrint-scale -workers 1,2,4 -repeat 1 # CI smoke sizing
+//	refrint-scale -out BENCH_10.json       # write the committed trajectory
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"refrint"
+)
+
+// reportFormat identifies the JSON schema of the emitted document.
+const reportFormat = "refrint/scale-report/v1"
+
+// point is one measured worker count.
+type point struct {
+	Workers     int     `json:"workers"`
+	Sims        int     `json:"sims"`
+	BestSeconds float64 `json:"best_seconds"`
+	SimsPerSec  float64 `json:"sims_per_sec"`
+	Speedup     float64 `json:"speedup"`
+	Efficiency  float64 `json:"efficiency"`
+}
+
+// scaleReport is the document committed as BENCH_<pr>.json.
+type scaleReport struct {
+	Format     string  `json:"format"`
+	GoVersion  string  `json:"go_version"`
+	GOOS       string  `json:"goos"`
+	GOARCH     string  `json:"goarch"`
+	NumCPU     int     `json:"num_cpu"`
+	Apps       string  `json:"apps"`
+	Effort     float64 `json:"effort"`
+	Seed       int64   `json:"seed"`
+	Repeat     int     `json:"repeat"`
+	Points     []point `json:"points"`
+	PeakSims   float64 `json:"peak_sims_per_sec"`
+	PeakAtWork int     `json:"peak_at_workers"`
+}
+
+func main() {
+	var (
+		workers = flag.String("workers", "", "comma-separated worker counts (default: powers of two up to NumCPU)")
+		apps    = flag.String("apps", "", "comma-separated application names (default: the quick sweep's three)")
+		effort  = flag.Float64("effort", 0.25, "workload length multiplier")
+		seed    = flag.Int64("seed", 1, "workload random seed")
+		repeat  = flag.Int("repeat", 3, "runs per worker count; the best time is kept")
+		out     = flag.String("out", "", "write the JSON report to this file (default: stdout only prints the curve)")
+	)
+	flag.Parse()
+
+	counts, err := workerCounts(*workers)
+	if err != nil {
+		fatal(err)
+	}
+
+	opts := refrint.QuickSweep()
+	if *apps != "" {
+		opts.Apps = strings.Split(*apps, ",")
+		for i := range opts.Apps {
+			opts.Apps[i] = strings.TrimSpace(opts.Apps[i])
+		}
+	}
+	opts.EffortScale = *effort
+	opts.Seed = *seed
+	sims := opts.Size()
+
+	rep := scaleReport{
+		Format:    reportFormat,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Apps:      strings.Join(opts.Apps, ","),
+		Effort:    *effort,
+		Seed:      *seed,
+		Repeat:    *repeat,
+	}
+
+	fmt.Printf("refrint-scale: %d sims per sweep (%s, effort %.2f), %d repeats, workers %v\n",
+		sims, rep.Apps, *effort, *repeat, counts)
+
+	// One untimed warm-up sweep so first-use costs (page faults, lazily
+	// built tables) are not charged to the 1-worker point.
+	warm := opts
+	warm.Workers = counts[0]
+	if _, err := refrint.RunSweepContext(context.Background(), warm, nil); err != nil {
+		fatal(err)
+	}
+
+	for _, w := range counts {
+		o := opts
+		o.Workers = w
+		best := time.Duration(0)
+		for r := 0; r < *repeat; r++ {
+			start := time.Now()
+			if _, err := refrint.RunSweepContext(context.Background(), o, nil); err != nil {
+				fatal(err)
+			}
+			if d := time.Since(start); best == 0 || d < best {
+				best = d
+			}
+		}
+		p := point{
+			Workers:     w,
+			Sims:        sims,
+			BestSeconds: best.Seconds(),
+			SimsPerSec:  float64(sims) / best.Seconds(),
+		}
+		rep.Points = append(rep.Points, p)
+		fmt.Printf("  workers=%-3d best=%8.3fs  sims/sec=%7.2f\n", w, p.BestSeconds, p.SimsPerSec)
+	}
+
+	base := rep.Points[0].SimsPerSec
+	for i := range rep.Points {
+		p := &rep.Points[i]
+		p.Speedup = p.SimsPerSec / base
+		p.Efficiency = p.Speedup * float64(rep.Points[0].Workers) / float64(p.Workers)
+		if p.SimsPerSec > rep.PeakSims {
+			rep.PeakSims = p.SimsPerSec
+			rep.PeakAtWork = p.Workers
+		}
+	}
+
+	fmt.Println("\nsims/sec vs workers:")
+	for _, p := range rep.Points {
+		bar := strings.Repeat("#", int(p.Speedup*8+0.5))
+		fmt.Printf("  %3d | %-40s %.2fx (eff %.0f%%)\n", p.Workers, bar, p.Speedup, p.Efficiency*100)
+	}
+	fmt.Printf("peak: %.2f sims/sec at %d workers\n", rep.PeakSims, rep.PeakAtWork)
+
+	if *out != "" {
+		blob, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		blob = append(blob, '\n')
+		if err := os.WriteFile(*out, blob, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+}
+
+// workerCounts parses -workers, defaulting to powers of two up to NumCPU
+// (always including 1 and NumCPU itself).
+func workerCounts(spec string) ([]int, error) {
+	if spec == "" {
+		var counts []int
+		for w := 1; w < runtime.NumCPU(); w *= 2 {
+			counts = append(counts, w)
+		}
+		return append(counts, runtime.NumCPU()), nil
+	}
+	var counts []int
+	for _, f := range strings.Split(spec, ",") {
+		w, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || w < 1 {
+			return nil, fmt.Errorf("refrint-scale: bad worker count %q", f)
+		}
+		counts = append(counts, w)
+	}
+	return counts, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "refrint-scale:", err)
+	os.Exit(1)
+}

@@ -66,6 +66,41 @@ func waived(r *ring, v int) {
 	r.buf = append(r.buf, v)
 }
 
+// soa mirrors the struct-of-arrays cache bank: per-frame metadata held in
+// parallel slices addressed by an integer frame handle.
+type soa struct {
+	tags   []uint64
+	states []uint8
+	stamps []int64
+}
+
+type frame int32
+
+// probe mirrors the SoA way scan: subslicing for a dense scan window, indexed
+// loads from parallel arrays, and returning an integer handle.  None of it
+// allocates.
+//
+//refrint:alloc-free
+func probe(c *soa, base, ways int, addr uint64) frame {
+	tags := c.tags[base : base+ways] // ok: subslice of existing backing array
+	for i := range tags {
+		if tags[i] == addr && c.states[base+i] != 0 {
+			return frame(base + i)
+		}
+	}
+	return frame(-1)
+}
+
+// update mirrors the SoA per-frame accessors: parallel indexed stores through
+// an integer handle.
+//
+//refrint:alloc-free
+func update(c *soa, f frame, now int64) {
+	c.stamps[f] = now
+	c.states[f] = 1
+	c.tags[f] = c.tags[f] &^ 1
+}
+
 // Unannotated functions may allocate freely.
 func cold() []int {
 	return append([]int{}, 1, 2, 3)

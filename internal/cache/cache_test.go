@@ -53,15 +53,15 @@ func TestInsertAndProbe(t *testing.T) {
 	if _, ok := c.Probe(addr); ok {
 		t.Fatal("empty cache should miss")
 	}
-	frame, _, evicted := c.Insert(addr, mem.Exclusive, 10)
+	f, _, evicted := c.Insert(addr, mem.Exclusive, 10)
 	if evicted {
 		t.Error("inserting into an empty set should not evict")
 	}
-	if frame.Tag != addr || frame.State != mem.Exclusive {
-		t.Errorf("frame = %+v", frame)
+	if c.Tag(f) != addr || c.State(f) != mem.Exclusive {
+		t.Errorf("frame = %+v", c.Line(f))
 	}
 	got, ok := c.Probe(addr)
-	if !ok || got.Tag != addr {
+	if !ok || c.Tag(got) != addr {
 		t.Fatal("probe after insert should hit")
 	}
 	if c.ValidCount() != 1 {
@@ -71,13 +71,13 @@ func TestInsertAndProbe(t *testing.T) {
 
 func TestTouchUpdatesRecencyAndRefresh(t *testing.T) {
 	c := New(smallConfig())
-	frame, _, _ := c.Insert(0x10, mem.Shared, 5)
-	if frame.LRU != 5 || frame.LastRefresh != 5 || !frame.Sentry {
-		t.Errorf("Insert should touch the line: %+v", frame)
+	f, _, _ := c.Insert(0x10, mem.Shared, 5)
+	if c.LRU(f) != 5 || c.LastRefresh(f) != 5 || !c.Sentry(f) {
+		t.Errorf("Insert should touch the line: %+v", c.Line(f))
 	}
-	c.Touch(frame, 42)
-	if frame.LRU != 42 || frame.LastTouch != 42 || frame.LastRefresh != 42 {
-		t.Errorf("Touch did not update stamps: %+v", frame)
+	c.Touch(f, 42)
+	if c.LRU(f) != 42 || c.LastTouch(f) != 42 || c.LastRefresh(f) != 42 {
+		t.Errorf("Touch did not update stamps: %+v", c.Line(f))
 	}
 }
 
@@ -101,8 +101,8 @@ func TestLRUReplacement(t *testing.T) {
 		}
 	}
 	// Touch the oldest (addrs[0]) so addrs[1] becomes LRU.
-	l, _ := c.Probe(addrs[0])
-	c.Touch(l, 100)
+	f, _ := c.Probe(addrs[0])
+	c.Touch(f, 100)
 	newAddr := base + mem.LineAddr(cfg.Ways*sets)
 	_, victim, evicted := c.Insert(newAddr, mem.Exclusive, 200)
 	if !evicted {
@@ -123,7 +123,7 @@ func TestVictimPrefersInvalidFrame(t *testing.T) {
 	c := New(smallConfig())
 	c.Insert(0x1, mem.Modified, 1)
 	v := c.Victim(0x1 + mem.LineAddr(c.Sets())) // same set, different tag
-	if v.Valid() {
+	if c.Valid(v) {
 		t.Error("victim should be an invalid frame while the set has free ways")
 	}
 }
@@ -143,19 +143,23 @@ func TestInvalidate(t *testing.T) {
 	}
 }
 
-func TestLineAtAndIndexOf(t *testing.T) {
+func TestFrameHandleIsFlatIndex(t *testing.T) {
 	c := New(smallConfig())
-	frame, _, _ := c.Insert(0x5, mem.Exclusive, 1)
-	idx := c.IndexOf(frame)
+	f, _, _ := c.Insert(0x5, mem.Exclusive, 1)
+	idx := c.IndexOf(f)
 	if idx < 0 || idx >= c.NumLines() {
 		t.Fatalf("IndexOf = %d out of range", idx)
 	}
-	if c.LineAt(idx) != frame {
-		t.Error("LineAt(IndexOf(l)) should return the same frame")
+	if idx != int(f) {
+		t.Errorf("IndexOf(%d) = %d, want the identity", f, idx)
 	}
-	var notMine mem.Line
-	if c.IndexOf(&notMine) != -1 {
-		t.Error("IndexOf of a foreign line should be -1")
+	// The frame's set is recoverable from the flat index: it must lie in
+	// the set its address maps to.
+	if want := c.setOf(0x5); idx/c.Ways() != want {
+		t.Errorf("frame %d lies in set %d, want %d", f, idx/c.Ways(), want)
+	}
+	if got := c.Line(f); got.Tag != 0x5 || got.State != mem.Exclusive {
+		t.Errorf("Line(f) = %+v", got)
 	}
 }
 
@@ -165,9 +169,9 @@ func TestForEachValidAndCounts(t *testing.T) {
 	c.Insert(0x2, mem.Shared, 2)
 	c.Insert(0x3, mem.Exclusive, 3)
 	seen := 0
-	c.ForEachValid(func(idx int, l *mem.Line) {
+	c.ForEachValid(func(f Frame) {
 		seen++
-		if !l.Valid() {
+		if !c.Valid(f) {
 			t.Error("ForEachValid visited an invalid line")
 		}
 	})
@@ -179,17 +183,28 @@ func TestForEachValidAndCounts(t *testing.T) {
 	}
 }
 
-func TestFlushReturnsDirtyLines(t *testing.T) {
+func TestFlushIntoReturnsDirtyLines(t *testing.T) {
 	c := New(smallConfig())
 	c.Insert(0x1, mem.Modified, 1)
 	c.Insert(0x2, mem.Shared, 2)
 	c.Insert(0x3, mem.Modified, 3)
-	dirty := c.Flush()
+	dirty := c.FlushInto(nil)
 	if len(dirty) != 2 {
-		t.Fatalf("Flush returned %d dirty lines, want 2", len(dirty))
+		t.Fatalf("FlushInto returned %d dirty lines, want 2", len(dirty))
 	}
 	if c.ValidCount() != 0 {
-		t.Error("cache not empty after Flush")
+		t.Error("cache not empty after FlushInto")
+	}
+	// The buffer is caller-owned: a second flush must reuse it (append
+	// semantics), not replace it.
+	c.Insert(0x9, mem.Modified, 4)
+	buf := dirty[:0]
+	buf = c.FlushInto(buf)
+	if len(buf) != 1 || buf[0].Tag != 0x9 {
+		t.Fatalf("reused buffer flush = %+v", buf)
+	}
+	if &buf[0] != &dirty[:1][0] {
+		t.Error("FlushInto should append into the caller's buffer in place")
 	}
 }
 

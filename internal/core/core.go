@@ -17,6 +17,11 @@
 // Banks are used for every level of the hierarchy; an SRAM bank simply has
 // no retention model and never refreshes, so the same code path serves the
 // paper's full-SRAM baseline.
+//
+// Lines are addressed by cache.Frame handles throughout: a frame number is
+// simultaneously the replacement-array slot and the flat index the refresh
+// machinery schedules by, so there is no pointer->index translation on any
+// hot path.
 package core
 
 import (
@@ -147,17 +152,21 @@ func NewBank(cacheCfg config.CacheConfig, cell config.CellConfig, policy config.
 	return b
 }
 
-// noteValid adjusts the valid-line count of frame idx's sweep group.
-func (b *Bank) noteValid(idx int, delta int32) {
+// noteValid adjusts the valid-line count of frame f's sweep group.
+//
+//refrint:alloc-free
+func (b *Bank) noteValid(f cache.Frame, delta int32) {
 	if b.groupValid != nil {
-		b.groupValid[idx/b.linesPerGroup] += delta
+		b.groupValid[int(f)/b.linesPerGroup] += delta
 	}
 }
 
-// noteDirty adjusts the dirty-line count of frame idx's sweep group.
-func (b *Bank) noteDirty(idx int, delta int32) {
+// noteDirty adjusts the dirty-line count of frame f's sweep group.
+//
+//refrint:alloc-free
+func (b *Bank) noteDirty(f cache.Frame, delta int32) {
 	if b.groupDirty != nil {
-		b.groupDirty[idx/b.linesPerGroup] += delta
+		b.groupDirty[int(f)/b.linesPerGroup] += delta
 	}
 }
 
@@ -201,127 +210,134 @@ func (b *Bank) occupyPort(at int64) int64 {
 	return cycle
 }
 
-// scheduleSentry registers the sentry-decay deadline of a line, replacing any
-// previously registered deadline for the same frame.
-func (b *Bank) scheduleSentry(idx int, l *mem.Line) {
-	if b.wheel == nil || b.policy.Time != config.RefrintTime || idx < 0 {
+// scheduleSentry registers the sentry-decay deadline of a frame, replacing
+// any previously registered deadline for the same frame.
+//
+//refrint:alloc-free
+func (b *Bank) scheduleSentry(f cache.Frame) {
+	if b.wheel == nil || b.policy.Time != config.RefrintTime || f < 0 {
 		return
 	}
 	// The wheel moves the frame's node to the new deadline (or does nothing
 	// if it is unchanged), so earlier deadlines of this frame never linger.
-	b.wheel.Schedule(b.ret.SentryDeadline(l.LastRefresh), idx)
+	b.wheel.Schedule(b.ret.SentryDeadline(b.arr.LastRefresh(f)), int(f))
 }
 
-// resetCount re-arms the WB(n,m) budget of a line after a normal access,
+// resetCount re-arms the WB(n,m) budget of a frame after a normal access,
 // following Figure 4.1: dirty lines get n, clean lines get m.
-func (b *Bank) resetCount(l *mem.Line) {
+//
+//refrint:alloc-free
+func (b *Bank) resetCount(f cache.Frame) {
 	if b.policy.Data != config.WBData {
 		return
 	}
-	if l.Dirty() {
-		l.Count = b.policy.N
+	if b.arr.Dirty(f) {
+		b.arr.SetCount(f, b.policy.N)
 	} else {
-		l.Count = b.policy.M
+		b.arr.SetCount(f, b.policy.M)
 	}
 }
 
 // Probe looks up addr for a demand access at cycle `now`.  If the line is
 // present but its cells have decayed (possible only when the data policy let
 // it lapse), the line is dropped and the probe misses.
-func (b *Bank) Probe(addr mem.LineAddr, now int64) (*mem.Line, bool) {
+func (b *Bank) Probe(addr mem.LineAddr, now int64) (cache.Frame, bool) {
 	b.AdvanceTo(now)
-	l, ok := b.arr.Probe(addr)
+	f, ok := b.arr.Probe(addr)
 	if !ok {
-		return nil, false
+		return cache.NoFrame, false
 	}
-	if b.mayDecay && b.ret.Decayed(l.LastRefresh, now) {
+	if b.mayDecay && b.ret.Decayed(b.arr.LastRefresh(f), now) {
 		// Data lost.  Dirty data that decays silently would be a correctness
 		// bug in a real system; the policies are designed never to let that
 		// happen, and the counter lets tests assert it.
 		b.counters().Decays++
+		wasDirty := b.arr.Dirty(f)
 		if b.hooks.Invalidate != nil {
-			b.hooks.Invalidate(l.Tag, l.Dirty(), now)
+			b.hooks.Invalidate(b.arr.Tag(f), wasDirty, now)
 		}
 		// The hook can re-enter this bank and invalidate the frame itself
 		// (an L2 decay writeback probes the home L3, whose sweep may send an
 		// inclusion invalidation right back); only account the line once.
-		if l.Valid() {
+		if b.arr.Valid(f) {
 			if b.groupValid != nil {
-				idx := b.arr.IndexOf(l)
-				b.noteValid(idx, -1)
-				if l.Dirty() {
-					b.noteDirty(idx, -1)
+				b.noteValid(f, -1)
+				if b.arr.Dirty(f) {
+					b.noteDirty(f, -1)
 				}
 			}
-			l.Reset()
+			b.arr.Reset(f)
 		}
-		return nil, false
+		return cache.NoFrame, false
 	}
-	return l, true
+	return f, true
 }
 
-// Touch records a demand hit on a line: the access refreshes the cells and
+// Touch records a demand hit on a frame: the access refreshes the cells and
 // the sentry bit and re-arms the WB(n,m) count.
-func (b *Bank) Touch(l *mem.Line, now int64) {
-	b.arr.Touch(l, now)
-	b.resetCount(l)
+//
+//refrint:alloc-free
+func (b *Bank) Touch(f cache.Frame, now int64) {
+	b.arr.Touch(f, now)
+	b.resetCount(f)
 	if b.policy.Time == config.RefrintTime {
-		b.scheduleSentry(b.arr.IndexOf(l), l)
+		b.scheduleSentry(f)
 	}
 }
 
 // Insert places a new line in the bank (a fill from the next lower level) and
 // returns the frame plus the victim information exactly as cache.Insert does.
-func (b *Bank) Insert(addr mem.LineAddr, state mem.State, now int64) (frame *mem.Line, victim mem.Line, evicted bool) {
+func (b *Bank) Insert(addr mem.LineAddr, state mem.State, now int64) (f cache.Frame, victim mem.Line, evicted bool) {
 	b.AdvanceTo(now)
-	frame, victim, evicted = b.arr.Insert(addr, state, now)
-	idx := b.arr.IndexOf(frame)
+	f, victim, evicted = b.arr.Insert(addr, state, now)
 	if b.groupValid != nil {
 		if evicted {
 			if victim.Dirty() {
-				b.noteDirty(idx, -1)
+				b.noteDirty(f, -1)
 			}
 		} else {
-			b.noteValid(idx, 1)
+			b.noteValid(f, 1)
 		}
-		if frame.Dirty() {
-			b.noteDirty(idx, 1)
+		if b.arr.Dirty(f) {
+			b.noteDirty(f, 1)
 		}
 	}
-	b.resetCount(frame)
+	b.resetCount(f)
 	b.counters().Fills++
 	if evicted {
 		b.counters().Evictions++
 	}
 	if b.policy.Time == config.RefrintTime {
-		b.scheduleSentry(idx, frame)
+		b.scheduleSentry(f)
 	}
-	return frame, victim, evicted
+	return f, victim, evicted
 }
 
 // SetState changes the MESI state of a line frame in place, keeping the
 // bank's occupancy accounting coherent.  The simulator uses it for silent
 // upgrades (E->M), downgrades (M->S) and write hits that previously assigned
-// l.State directly.  It must not be used to invalidate a line (use
+// the state directly.  It must not be used to invalidate a line (use
 // Invalidate) — but it does tolerate the opposite: an upgrade may find its
 // frame freshly invalidated by a refresh sweep that ran during the
 // directory transaction, and the assignment then revives the frame exactly
 // as the direct store used to.
-func (b *Bank) SetState(l *mem.Line, state mem.State) {
-	if b.groupValid != nil && l.State != state {
-		idx := b.arr.IndexOf(l)
-		if !l.State.Valid() && state.Valid() {
-			b.noteValid(idx, 1)
+//
+//refrint:alloc-free
+func (b *Bank) SetState(f cache.Frame, state mem.State) {
+	old := b.arr.State(f)
+	if b.groupValid != nil && old != state {
+		if !old.Valid() && state.Valid() {
+			b.noteValid(f, 1)
 		}
-		if l.State.Dirty() != state.Dirty() {
+		if old.Dirty() != state.Dirty() {
 			if state.Dirty() {
-				b.noteDirty(idx, 1)
+				b.noteDirty(f, 1)
 			} else {
-				b.noteDirty(idx, -1)
+				b.noteDirty(f, -1)
 			}
 		}
 	}
-	l.State = state
+	b.arr.SetState(f, state)
 }
 
 // Invalidate drops addr from the bank (coherence or inclusion), returning the
@@ -333,19 +349,18 @@ func (b *Bank) SetState(l *mem.Line, state mem.State) {
 // this bank's refresh processing would charge future refresh work against
 // the owner's next (earlier) access.
 func (b *Bank) Invalidate(addr mem.LineAddr) (mem.Line, bool) {
-	l, ok := b.arr.Probe(addr)
+	f, ok := b.arr.Probe(addr)
 	if !ok {
 		return mem.Line{}, false
 	}
-	old := *l
+	old := b.arr.Line(f)
 	if b.groupValid != nil {
-		idx := b.arr.IndexOf(l)
-		b.noteValid(idx, -1)
+		b.noteValid(f, -1)
 		if old.Dirty() {
-			b.noteDirty(idx, -1)
+			b.noteDirty(f, -1)
 		}
 	}
-	l.Reset()
+	b.arr.Reset(f)
 	b.counters().Invalidations++
 	return old, true
 }
@@ -354,9 +369,21 @@ func (b *Bank) Invalidate(addr mem.LineAddr) (mem.Line, bool) {
 // decay handling.  Coherence operations initiated by other cores use it to
 // read or adjust a remote cache's line state (their timestamps must not
 // drive the remote bank's refresh processing).
-func (b *Bank) Peek(addr mem.LineAddr) (*mem.Line, bool) {
+//
+//refrint:alloc-free
+func (b *Bank) Peek(addr mem.LineAddr) (cache.Frame, bool) {
 	return b.arr.Probe(addr)
 }
+
+// State returns the MESI state of a frame (no clock advance).
+//
+//refrint:alloc-free
+func (b *Bank) State(f cache.Frame) mem.State { return b.arr.State(f) }
+
+// Dirty reports whether a frame holds dirty data (no clock advance).
+//
+//refrint:alloc-free
+func (b *Bank) Dirty(f cache.Frame) bool { return b.arr.Dirty(f) }
 
 // AdvanceTo processes all refresh work with deadlines at or before `now`.
 // It is idempotent and monotone: calling it with an earlier time is a no-op.
@@ -398,9 +425,8 @@ func (b *Bank) advanceRefrint(now int64) {
 			return
 		}
 		for _, entry := range b.dueBuf {
-			idx := int(entry.ID)
-			l := b.arr.LineAt(idx)
-			if !l.Valid() {
+			f := cache.Frame(entry.ID)
+			if !b.arr.Valid(f) {
 				// Invalid frames have no charge to preserve; their sentry
 				// raises no further interrupts until the frame is refilled.
 				continue
@@ -408,7 +434,7 @@ func (b *Bank) advanceRefrint(now int64) {
 			// A genuine sentry interrupt.
 			b.st.SentryInterrupts++
 			at := b.occupyPort(entry.Cycle)
-			b.applyDataPolicy(idx, l, at)
+			b.applyDataPolicy(f, at)
 		}
 	}
 }
@@ -471,95 +497,101 @@ func (b *Bank) sweepGroup(group int, cycle int64) {
 	}
 	seen := int32(0)
 	for idx := start; idx < end && seen < valid; idx++ {
-		l := b.arr.LineAt(idx)
-		if !l.Valid() {
+		f := cache.Frame(idx)
+		if !b.arr.Valid(f) {
 			continue
 		}
 		seen++
-		b.applyDataPolicy(idx, l, cycle)
+		b.applyDataPolicy(f, cycle)
 	}
 }
 
-// applyDataPolicy executes the data-based refresh decision for one line that
+// applyDataPolicy executes the data-based refresh decision for one frame that
 // is due for refresh at cycle `at` (Figure 4.1 for WB(n,m); Table 3.1 for the
 // others).
-func (b *Bank) applyDataPolicy(idx int, l *mem.Line, at int64) {
+//
+//refrint:alloc-free
+func (b *Bank) applyDataPolicy(f cache.Frame, at int64) {
 	switch b.policy.Data {
 	case config.AllData:
-		b.refreshLine(idx, l, at)
+		b.refreshLine(f, at)
 
 	case config.ValidData:
 		// Only valid lines reach this point; always refresh.
-		b.refreshLine(idx, l, at)
+		b.refreshLine(f, at)
 
 	case config.DirtyData:
-		if l.Dirty() {
-			b.refreshLine(idx, l, at)
+		if b.arr.Dirty(f) {
+			b.refreshLine(f, at)
 		} else {
-			b.invalidateLine(idx, l, at)
+			b.invalidateLine(f, at)
 		}
 
 	case config.WBData:
 		switch {
-		case l.Count >= 1:
-			l.Count--
-			b.refreshLine(idx, l, at)
-		case l.Dirty():
+		case b.arr.Count(f) >= 1:
+			b.arr.SetCount(f, b.arr.Count(f)-1)
+			b.refreshLine(f, at)
+		case b.arr.Dirty(f):
 			// Count exhausted on a dirty line: write it back, keep it as
 			// valid clean, re-arm the clean budget.  The writeback itself
 			// refreshes the line.
-			b.writebackLine(idx, l, at)
+			b.writebackLine(f, at)
 		default:
 			// Count exhausted on a valid clean line: let it go.
-			b.invalidateLine(idx, l, at)
+			b.invalidateLine(f, at)
 		}
 	}
 }
 
-// refreshLine recharges the cells and sentry bit of a line.
-func (b *Bank) refreshLine(idx int, l *mem.Line, at int64) {
-	l.LastRefresh = at
-	l.Sentry = true
+// refreshLine recharges the cells and sentry bit of a frame.
+//
+//refrint:alloc-free
+func (b *Bank) refreshLine(f cache.Frame, at int64) {
+	b.arr.Recharge(f, at)
 	b.counters().Refreshes++
 	b.st.PolicyRefreshes++
 	if b.policy.Time == config.RefrintTime {
-		b.scheduleSentry(idx, l)
+		b.scheduleSentry(f)
 	}
 }
 
 // writebackLine implements the WB(n,m) "write back and keep clean" action.
-func (b *Bank) writebackLine(idx int, l *mem.Line, at int64) {
+//
+//refrint:alloc-free
+func (b *Bank) writebackLine(f cache.Frame, at int64) {
 	b.counters().Writebacks++
 	b.st.PolicyWritebacks++
 	if b.hooks.Writeback != nil {
-		b.hooks.Writeback(l.Tag, at)
+		b.hooks.Writeback(b.arr.Tag(f), at)
 	}
-	b.noteDirty(idx, -1)
-	l.State = mem.Exclusive // valid clean
-	l.Count = b.policy.M
+	b.noteDirty(f, -1)
+	b.arr.SetState(f, mem.Exclusive) // valid clean
+	b.arr.SetCount(f, b.policy.M)
 	// The writeback read the line and rewrote it: the cells are recharged.
-	l.LastRefresh = at
-	l.Sentry = true
+	b.arr.Recharge(f, at)
 	if b.policy.Time == config.RefrintTime {
-		b.scheduleSentry(idx, l)
+		b.scheduleSentry(f)
 	}
 }
 
 // invalidateLine implements the policy invalidation of a clean line.
-func (b *Bank) invalidateLine(idx int, l *mem.Line, at int64) {
+//
+//refrint:alloc-free
+func (b *Bank) invalidateLine(f cache.Frame, at int64) {
 	b.counters().Invalidations++
 	b.st.PolicyInvalidates++
 	if b.hooks.Invalidate != nil {
-		b.hooks.Invalidate(l.Tag, l.Dirty(), at)
+		b.hooks.Invalidate(b.arr.Tag(f), b.arr.Dirty(f), at)
 	}
 	// As in the decay path, the hook may already have invalidated the frame
 	// through a re-entrant inclusion invalidation; account the line once.
-	if l.Valid() {
-		b.noteValid(idx, -1)
-		if l.Dirty() {
-			b.noteDirty(idx, -1)
+	if b.arr.Valid(f) {
+		b.noteValid(f, -1)
+		if b.arr.Dirty(f) {
+			b.noteDirty(f, -1)
 		}
-		l.Reset()
+		b.arr.Reset(f)
 	}
 }
 
@@ -569,21 +601,22 @@ func (b *Bank) Drain(endCycle int64) {
 	b.AdvanceTo(endCycle)
 }
 
-// Flush invalidates every line and returns the dirty copies so the caller
-// can write them back (end-of-run flush, Section 6 "at the end of the
-// simulation all dirty data will be written back to main memory").
-func (b *Bank) Flush() []mem.Line {
+// FlushInto invalidates every line, appends the dirty copies to the
+// caller-owned dst (mirroring event.Wheel.PopDueInto) and returns the
+// extended buffer, so repeated end-of-run flushes reuse one buffer instead
+// of allocating a fresh slice per call.
+func (b *Bank) FlushInto(dst []mem.Line) []mem.Line {
 	for i := range b.groupValid {
 		b.groupValid[i] = 0
 	}
 	for i := range b.groupDirty {
 		b.groupDirty[i] = 0
 	}
-	return b.arr.Flush()
+	return b.arr.FlushInto(dst)
 }
 
-// FlushCount is Flush for callers that only need the number of dirty lines
-// (the end-of-run writeback charge): no per-line copies are made.
+// FlushCount is FlushInto for callers that only need the number of dirty
+// lines (the end-of-run writeback charge): no per-line copies are made.
 func (b *Bank) FlushCount() int64 {
 	var n int64
 	if b.groupDirty != nil {

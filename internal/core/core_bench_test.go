@@ -56,15 +56,15 @@ func BenchmarkPeriodicSweepProcessing(b *testing.B) {
 // line that alternates between refresh, writeback and invalidation outcomes.
 func BenchmarkWBDecision(b *testing.B) {
 	bank, _ := benchBank(config.RefrintWB(1, 1))
+	arr := bank.Cache()
 	frame, _, _ := bank.Insert(0x1, mem.Modified, 0)
-	idx := bank.Cache().IndexOf(frame)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if !frame.Valid() {
-			frame.State = mem.Modified
-			frame.Count = 1
+		if !arr.Valid(frame) {
+			arr.SetState(frame, mem.Modified)
+			arr.SetCount(frame, 1)
 		}
-		bank.applyDataPolicy(idx, frame, int64(i))
+		bank.applyDataPolicy(frame, int64(i))
 	}
 }
 

@@ -178,11 +178,11 @@ func TestWBPolicyFigure41Sequence(t *testing.T) {
 		t.Errorf("writeback hook = %v", h.writebacks)
 	}
 	l, ok := b.Cache().Probe(0x1)
-	if !ok || l.Dirty() {
-		t.Fatalf("line should now be valid clean: %+v ok=%v", l, ok)
+	if !ok || b.Cache().Dirty(l) {
+		t.Fatalf("line should now be valid clean: %+v ok=%v", b.Cache().Line(l), ok)
 	}
-	if l.Count != 1 {
-		t.Errorf("Count after writeback = %d, want m=1", l.Count)
+	if got := b.Cache().Count(l); got != 1 {
+		t.Errorf("Count after writeback = %d, want m=1", got)
 	}
 
 	b.AdvanceTo(36_000) // interrupt 4: Count 1 -> 0, refresh (clean)
@@ -215,8 +215,8 @@ func TestAccessResetsWBCount(t *testing.T) {
 		t.Fatal("line missing")
 	}
 	b.Touch(l, 10_000)
-	if l.Count != 1 {
-		t.Fatalf("Count after access = %d, want n=1", l.Count)
+	if got := b.Cache().Count(l); got != 1 {
+		t.Fatalf("Count after access = %d, want n=1", got)
 	}
 	// Next interrupt (at 19_000): Count 1 -> 0, refresh (not writeback).
 	b.AdvanceTo(19_000)
@@ -231,12 +231,12 @@ func TestAccessResetsWBCount(t *testing.T) {
 func TestWBCountInitialisation(t *testing.T) {
 	b, _, _ := newTestBank(t, testCell(), config.RefrintWB(7, 3))
 	frame, _, _ := b.Insert(0x1, mem.Modified, 0)
-	if frame.Count != 7 {
-		t.Errorf("dirty fill Count = %d, want n=7", frame.Count)
+	if got := b.Cache().Count(frame); got != 7 {
+		t.Errorf("dirty fill Count = %d, want n=7", got)
 	}
 	frame2, _, _ := b.Insert(0x2, mem.Shared, 0)
-	if frame2.Count != 3 {
-		t.Errorf("clean fill Count = %d, want m=3", frame2.Count)
+	if got := b.Cache().Count(frame2); got != 3 {
+		t.Errorf("clean fill Count = %d, want m=3", got)
 	}
 }
 
@@ -353,9 +353,15 @@ func TestFlushReturnsDirtyLines(t *testing.T) {
 	b, _, _ := newTestBank(t, testCell(), config.RefrintWB(4, 4))
 	b.Insert(0x1, mem.Modified, 0)
 	b.Insert(0x2, mem.Exclusive, 0)
-	dirty := b.Flush()
+	dirty := b.FlushInto(nil)
 	if len(dirty) != 1 || dirty[0].Tag != 0x1 {
-		t.Errorf("Flush = %+v, want the single dirty line", dirty)
+		t.Errorf("FlushInto = %+v, want the single dirty line", dirty)
+	}
+	// The buffer is caller-owned; a second flush of a refilled bank reuses it.
+	b.Insert(0x3, mem.Modified, 1)
+	dirty = b.FlushInto(dirty[:0])
+	if len(dirty) != 1 || dirty[0].Tag != 0x3 {
+		t.Errorf("reused-buffer FlushInto = %+v", dirty)
 	}
 }
 

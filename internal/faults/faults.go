@@ -12,12 +12,19 @@
 // comma-separated.  Modes:
 //
 //	error    Check returns ErrInjected (arg is the rate, default 1)
+//	corrupt  Check returns ErrCorrupted (arg is the rate, default 1)
 //	panic    Check panics (arg is the rate, default 1)
 //	latency  Check sleeps arg (a Go duration; optional trailing rate)
+//
+// error and corrupt differ only in the sentinel they return, and callers
+// differ in how they treat the two: the store maps an ErrInjected read to a
+// transient miss (the blob is fine, the read failed), while ErrCorrupted
+// means the blob itself is bad and must go through the quarantine path.
 //
 // Examples:
 //
 //	store.put:error:0.5          half of store writes fail
+//	store.get:corrupt:0.1        a tenth of store reads find a corrupt blob
 //	sim.run:panic:1              every simulation panics
 //	exec.latency:latency:2s      every simulation takes 2s longer
 //	store.put:error:1,sim.run:latency:10ms:0.1
@@ -55,11 +62,19 @@ const (
 // it with errors.Is.
 var ErrInjected = errors.New("injected fault")
 
+// ErrCorrupted is the error returned by corrupt-mode injection.  It is
+// deliberately NOT ErrInjected: it simulates the blob itself being bad
+// rather than the read failing, so callers that special-case ErrInjected as
+// transient (the store's synthetic-miss path) treat a corrupt injection like
+// a genuine verification failure and exercise their quarantine handling.
+var ErrCorrupted = errors.New("injected corruption")
+
 // mode is the failure behavior of one rule.
 type mode int
 
 const (
 	modeError mode = iota
+	modeCorrupt
 	modePanic
 	modeLatency
 )
@@ -111,6 +126,18 @@ func Parse(spec string) (*Injector, error) {
 				}
 				r.rate = rate
 			}
+		case "corrupt":
+			r.mode = modeCorrupt
+			if len(fields) > 3 {
+				return nil, fmt.Errorf("faults: rule %q: corrupt takes at most a rate", part)
+			}
+			if len(fields) == 3 {
+				rate, err := parseRate(fields[2])
+				if err != nil {
+					return nil, fmt.Errorf("faults: rule %q: %v", part, err)
+				}
+				r.rate = rate
+			}
 		case "panic":
 			r.mode = modePanic
 			if len(fields) > 3 {
@@ -141,7 +168,7 @@ func Parse(spec string) (*Injector, error) {
 				r.rate = rate
 			}
 		default:
-			return nil, fmt.Errorf("faults: rule %q: unknown mode %q (want error, panic or latency)", part, fields[1])
+			return nil, fmt.Errorf("faults: rule %q: unknown mode %q (want error, corrupt, panic or latency)", part, fields[1])
 		}
 		inj.rules[point] = append(inj.rules[point], r)
 	}
@@ -207,6 +234,8 @@ func (inj *Injector) check(ctx context.Context, point string) error {
 		switch r.mode {
 		case modeError:
 			return fmt.Errorf("faults: %s: %w", point, ErrInjected)
+		case modeCorrupt:
+			return fmt.Errorf("faults: %s: %w", point, ErrCorrupted)
 		case modePanic:
 			panic(fmt.Sprintf("faults: injected panic at %s", point))
 		case modeLatency:

@@ -269,3 +269,62 @@ func TestChaosExecLatencyInjection(t *testing.T) {
 	}
 	h.waitState(view.ID, StateDone)
 }
+
+// TestChaosStoreGetCorruption covers the read path the way
+// TestChaosStoreDegradation covers writes: with store.get:corrupt injected,
+// a resubmitted sweep finds its persisted blob "corrupt", the store
+// quarantines it (visible in refrint_store_quarantined_total), and the
+// service recomputes and completes the sweep instead of failing it.  Read
+// corruption must not flip the store into degraded mode — that is a
+// write-path condition.
+func TestChaosStoreGetCorruption(t *testing.T) {
+	st, err := store.Open(t.TempDir(), store.Options{MemEntries: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	// CacheEntries: 1 so the second sweep evicts the first from the
+	// in-memory result cache — the resubmission must then revive it from
+	// the persistent store, which is where the corruption is injected.
+	h := newHarness(t, Config{Store: st, CacheEntries: 1})
+
+	// Populate the store, then push the sweep blob out of the memory front
+	// so the resubmission below must read it from disk.
+	first, status := h.submit(tinyRequest(1))
+	if status != http.StatusAccepted {
+		t.Fatalf("POST status = %d, want %d", status, http.StatusAccepted)
+	}
+	done := h.waitState(first.ID, StateDone)
+	if !st.Contains(store.KindSweep, done.Key) {
+		t.Fatal("first sweep not persisted")
+	}
+	other, _ := h.submit(tinyRequest(2))
+	h.waitState(other.ID, StateDone)
+
+	enableFaults(t, "store.get:corrupt")
+	again, status := h.submit(tinyRequest(1))
+	if status != http.StatusAccepted {
+		t.Fatalf("resubmit status = %d, want %d", status, http.StatusAccepted)
+	}
+	h.waitState(again.ID, StateDone) // corruption degrades to recompute, never failure
+	faults.Disable()
+
+	if got := st.Stats().Quarantined; got < 1 {
+		t.Fatalf("Quarantined = %d, want >= 1", got)
+	}
+	if got := metricValue(t, h.metricsText(), "refrint_store_quarantined_total"); got < 1 {
+		t.Errorf("refrint_store_quarantined_total = %g, want >= 1", got)
+	}
+	var hz healthz
+	if resp := h.do("GET", "/healthz", nil, &hz); resp.StatusCode != http.StatusOK || hz.Status != "ok" {
+		t.Errorf("healthz after read corruption = (%d, %q), want (200, ok); read faults must not degrade the store",
+			resp.StatusCode, hz.Status)
+	}
+
+	// The recomputed result was re-persisted and is servable again.
+	final, _ := h.submit(tinyRequest(1))
+	h.waitState(final.ID, StateDone)
+	if !st.Contains(store.KindSweep, done.Key) {
+		t.Error("recomputed sweep not re-persisted after quarantine")
+	}
+}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"refrint/internal/cache"
 	"refrint/internal/coherence"
 	"refrint/internal/core"
 	"refrint/internal/mem"
@@ -103,18 +104,18 @@ func (s *System) accessWrite(tileID int, line mem.LineAddr, now int64) int64 {
 	s.countWrite(stats.L2)
 	l2Frame, l2Hit := tile.L2.Probe(line, now)
 	switch {
-	case l2Hit && l2Frame.State == mem.Modified:
+	case l2Hit && tile.L2.State(l2Frame) == mem.Modified:
 		// Already owned dirty: silent.
 		s.st.Level(stats.L2).Hits++
 		tile.L2.Touch(l2Frame, t2)
 		t = t2
-	case l2Hit && l2Frame.State == mem.Exclusive:
+	case l2Hit && tile.L2.State(l2Frame) == mem.Exclusive:
 		// MESI silent upgrade E -> M.
 		s.st.Level(stats.L2).Hits++
 		tile.L2.SetState(l2Frame, mem.Modified)
 		tile.L2.Touch(l2Frame, t2)
 		t = t2
-	case l2Hit && l2Frame.State == mem.Shared:
+	case l2Hit && tile.L2.State(l2Frame) == mem.Shared:
 		// Upgrade: the directory must invalidate the other sharers.
 		s.st.Level(stats.L2).Hits++
 		t = s.upgradeAtL3(tileID, line, t2)
@@ -244,7 +245,7 @@ func (s *System) upgradeAtL3(tileID int, line mem.LineAddr, now int64) int64 {
 
 // installInL3 inserts a line fetched from DRAM into an L3 bank, handling the
 // inclusive eviction of the victim.
-func (s *System) installInL3(home *Tile, bank int, line mem.LineAddr, now int64) *mem.Line {
+func (s *System) installInL3(home *Tile, bank int, line mem.LineAddr, now int64) cache.Frame {
 	frame, victim, evicted := home.L3.Insert(line, mem.Exclusive, now)
 	if evicted {
 		vaddr := victim.Tag
@@ -276,7 +277,7 @@ func (s *System) installInL3(home *Tile, bank int, line mem.LineAddr, now int64)
 // applyCoherence turns a directory action into cache operations, network
 // messages and latency.  `frame` is the L3 frame of the line (its state is
 // updated when dirty data is written into the L3).
-func (s *System) applyCoherence(bank, requester int, line mem.LineAddr, act coherence.Action, frame *mem.Line, now int64) int64 {
+func (s *System) applyCoherence(bank, requester int, line mem.LineAddr, act coherence.Action, frame cache.Frame, now int64) int64 {
 	t := now
 	// Invalidate remote sharers (store or upgrade).  The invalidations are
 	// sent in parallel; the requester waits for the farthest acknowledgement.
@@ -315,7 +316,7 @@ func (s *System) applyCoherence(bank, requester int, line mem.LineAddr, act cohe
 		tile := s.tiles[owner]
 		wasDirty := false
 		if l2, ok := tile.L2.Peek(line); ok {
-			wasDirty = l2.Dirty()
+			wasDirty = tile.L2.Dirty(l2)
 			tile.L2.SetState(l2, mem.Shared)
 			tile.L2.Touch(l2, now)
 		}

@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 
+	"refrint/internal/cache"
 	"refrint/internal/core"
 	"refrint/internal/mem"
 )
@@ -85,7 +86,7 @@ func (s *System) CheckInvariants() error {
 					return fmt.Errorf("bank %d: directory lists core %d for %#x but its L2 does not hold it",
 						bankID, sharer, line.Tag)
 				}
-				if l2.Dirty() {
+				if s.tiles[sharer].L2.Dirty(l2) {
 					modifiedHolders++
 					if entry.Owner != sharer && entry.NumSharers() != 1 {
 						return fmt.Errorf("bank %d: core %d holds %#x Modified but directory owner is %d",
@@ -104,8 +105,9 @@ func (s *System) CheckInvariants() error {
 // validLines returns copies of all valid lines of a bank.
 func validLines(b *core.Bank) []mem.Line {
 	var out []mem.Line
-	b.Cache().ForEachValid(func(idx int, l *mem.Line) {
-		out = append(out, *l)
+	arr := b.Cache()
+	arr.ForEachValid(func(f cache.Frame) {
+		out = append(out, arr.Line(f))
 	})
 	return out
 }

@@ -3,6 +3,7 @@ package sim
 import (
 	"testing"
 
+	"refrint/internal/cache"
 	"refrint/internal/config"
 	"refrint/internal/mem"
 )
@@ -72,9 +73,10 @@ func TestCheckInvariantsDetectsViolations(t *testing.T) {
 	tile := s.Tile(0)
 	var victim mem.LineAddr
 	found := false
-	tile.DL1.Cache().ForEachValid(func(idx int, l *mem.Line) {
+	dl1 := tile.DL1.Cache()
+	dl1.ForEachValid(func(f cache.Frame) {
 		if !found {
-			victim = l.Tag
+			victim = dl1.Tag(f)
 			found = true
 		}
 	})
@@ -96,16 +98,17 @@ func TestCheckInvariantsDetectsDirtyL1(t *testing.T) {
 	}
 	s.Run()
 	tile := s.Tile(3)
-	var frame *mem.Line
-	tile.DL1.Cache().ForEachValid(func(idx int, l *mem.Line) {
-		if frame == nil {
-			frame = l
+	frame := cache.NoFrame
+	dl1 := tile.DL1.Cache()
+	dl1.ForEachValid(func(f cache.Frame) {
+		if frame == cache.NoFrame {
+			frame = f
 		}
 	})
-	if frame == nil {
+	if frame == cache.NoFrame {
 		t.Skip("tile 3 DL1 ended the run empty")
 	}
-	frame.State = mem.Modified
+	dl1.SetState(frame, mem.Modified)
 	if err := s.CheckInvariants(); err == nil {
 		t.Error("a dirty write-through DL1 line should be detected")
 	}

@@ -282,3 +282,63 @@ func TestDegradedStoreCloseStopsProbe(t *testing.T) {
 		t.Fatal("Close hung waiting for the probe goroutine")
 	}
 }
+
+// TestCorruptGetQuarantines verifies the corrupt injection mode takes the
+// real quarantine path: unlike store.get:error (a synthetic transient miss),
+// store.get:corrupt simulates a bad blob, so the read must quarantine it,
+// drop it from the index, and degrade to a miss — mirroring what a genuine
+// checksum failure does, without touching the bytes on disk.
+func TestCorruptGetQuarantines(t *testing.T) {
+	s := open(t, t.TempDir(), Options{MemEntries: 1})
+	if err := s.Put(KindCell, key(1), testPayload(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(KindCell, key(2), testPayload(2)); err != nil {
+		t.Fatal(err) // pushes key(1) out of the memory front
+	}
+
+	inj, err := faults.Parse("store.get:corrupt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults.Enable(inj)
+	t.Cleanup(faults.Disable)
+	var got payload
+	if s.Get(KindCell, key(1), &got) {
+		t.Fatal("Get hit through an injected corruption")
+	}
+	faults.Disable()
+
+	if got := s.Stats().Quarantined; got != 1 {
+		t.Fatalf("Quarantined = %d, want 1", got)
+	}
+	if s.Contains(KindCell, key(1)) {
+		t.Fatal("corrupt blob still indexed")
+	}
+	// The blob was moved aside, not deleted: the quarantine directory keeps
+	// the evidence, and the key is now a plain (recomputable) miss.
+	qdir := filepath.Join(s.Dir(), "v1", "quarantine")
+	entries, err := os.ReadDir(qdir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, e := range entries {
+		if strings.Contains(e.Name(), key(1)) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("quarantine dir %s has no blob for key(1)", qdir)
+	}
+	if s.Get(KindCell, key(1), &got) {
+		t.Fatal("quarantined key still hits")
+	}
+	// Read-path corruption must not degrade the store: writes are fine.
+	if deg, _ := s.Degraded(); deg {
+		t.Error("corruption on read degraded the write path")
+	}
+	if err := s.Put(KindCell, key(1), testPayload(1)); err != nil {
+		t.Fatalf("re-put after quarantine: %v", err)
+	}
+}

@@ -1,0 +1,28 @@
+#!/usr/bin/env sh
+# Runs the service-level scaling study: the quick sweep workload across a
+# series of worker-pool sizes, reporting sims/sec, speedup, and parallel
+# efficiency at each point.  Usage: scripts/scale-report.sh [output.json]
+#
+# Environment overrides (all optional):
+#   SCALE_WORKERS  comma-separated worker counts (default: powers of two
+#                  up to NumCPU, chosen by refrint-scale itself)
+#   SCALE_REPEAT   runs per point, best time kept (default 3; CI smoke uses 1)
+#   SCALE_EFFORT   workload length multiplier (default 0.25)
+#
+# The committed trajectory lives in BENCH_<pr>.json at the repo root; run
+# `make scale-report` on a quiet machine to regenerate it.
+set -eu
+
+out="${1:-}"
+repeat="${SCALE_REPEAT:-3}"
+effort="${SCALE_EFFORT:-0.25}"
+
+set -- -repeat "$repeat" -effort "$effort"
+if [ -n "${SCALE_WORKERS:-}" ]; then
+    set -- "$@" -workers "$SCALE_WORKERS"
+fi
+if [ -n "$out" ]; then
+    set -- "$@" -out "$out"
+fi
+
+go run ./cmd/refrint-scale "$@"
